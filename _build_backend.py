@@ -1,0 +1,136 @@
+"""A minimal, dependency-free PEP 517/660 build backend.
+
+Why this exists: air-gapped evaluation environments often carry setuptools
+but not ``wheel``, which setuptools' own backend needs to build (editable)
+wheels -- so ``pip install -e .`` fails even though nothing is actually
+missing.  A wheel is just a zip with a dist-info directory, and an
+editable wheel is just a ``.pth`` file in that zip; this backend writes
+both with the standard library only, with zero build requirements, so
+``pip install -e .`` and ``pip install .`` work with no network and no
+extra packages.
+
+Implements: build_wheel, build_editable, build_sdist, and the associated
+``get_requires_for_*`` / ``prepare_metadata_for_*`` hooks.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import os
+import tarfile
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+DIST = f"{NAME}-{VERSION}"
+TAG = "py3-none-any"
+ROOT = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(ROOT, "src")
+
+METADATA = f"""\
+Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Reproduction of ADA: An Application-Conscious Data Acquirer for Visual Molecular Dynamics (ICPP 2021)
+License: MIT
+Requires-Python: >=3.9
+Requires-Dist: numpy>=1.21
+Provides-Extra: test
+Requires-Dist: pytest; extra == "test"
+Requires-Dist: pytest-benchmark; extra == "test"
+Requires-Dist: hypothesis; extra == "test"
+"""
+
+WHEEL_META = f"""\
+Wheel-Version: 1.0
+Generator: repro-inline-backend ({VERSION})
+Root-Is-Purelib: true
+Tag: {TAG}
+"""
+
+
+def _record_line(path: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest())
+    return f"{path},sha256={digest.rstrip(b'=').decode()},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, payload: dict) -> str:
+    """Write a wheel containing ``payload`` (path -> bytes) + dist-info."""
+    payload = dict(payload)
+    payload[f"{DIST}.dist-info/METADATA"] = METADATA.encode()
+    payload[f"{DIST}.dist-info/WHEEL"] = WHEEL_META.encode()
+    record_path = f"{DIST}.dist-info/RECORD"
+    record = [_record_line(path, data) for path, data in sorted(payload.items())]
+    record.append(f"{record_path},,")
+    payload[record_path] = ("\n".join(record) + "\n").encode()
+
+    filename = f"{DIST}-{TAG}.whl"
+    target = os.path.join(wheel_directory, filename)
+    with zipfile.ZipFile(target, "w", zipfile.ZIP_DEFLATED) as zf:
+        for path in sorted(payload):
+            zf.writestr(path, payload[path])
+    return filename
+
+
+def _package_payload() -> dict:
+    """Every file of the package tree, for a regular (non-editable) wheel."""
+    payload = {}
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(SRC, NAME)):
+        for filename in filenames:
+            if filename.endswith((".pyc", ".pyo")):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, SRC).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                payload[rel] = fh.read()
+    return payload
+
+
+# -- PEP 517 ----------------------------------------------------------------
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    info_dir = os.path.join(metadata_directory, f"{DIST}.dist-info")
+    os.makedirs(info_dir, exist_ok=True)
+    with open(os.path.join(info_dir, "METADATA"), "w") as fh:
+        fh.write(METADATA)
+    with open(os.path.join(info_dir, "WHEEL"), "w") as fh:
+        fh.write(WHEEL_META)
+    return f"{DIST}.dist-info"
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    return _write_wheel(wheel_directory, _package_payload())
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    filename = f"{DIST}.tar.gz"
+    target = os.path.join(sdist_directory, filename)
+    with tarfile.open(target, "w:gz") as tf:
+        for entry in ("pyproject.toml", "_build_backend.py", "README.md", "src"):
+            full = os.path.join(ROOT, entry)
+            if os.path.exists(full):
+                tf.add(full, arcname=f"{DIST}/{entry}")
+    return filename
+
+
+# -- PEP 660 (editable installs) ---------------------------------------------
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def prepare_metadata_for_build_editable(metadata_directory, config_settings=None):
+    return prepare_metadata_for_build_wheel(metadata_directory, config_settings)
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    pth = f"{SRC}\n".encode()
+    return _write_wheel(wheel_directory, {f"__editable__.{NAME}.pth": pth})

@@ -1,0 +1,65 @@
+"""Ablation: many concurrent VMD clients sharing the storage system.
+
+The paper closes §4.1 noting ADA "can help an application better utilize
+the I/O bandwidth ... of a computing platform".  Here K clients load the
+same dataset concurrently on the cluster: traditional D-path clients each
+drag the full raw volume through the shared pool, ADA(protein) clients
+drag 42 % of it off the flash pool.  Makespan divergence grows with K.
+"""
+
+import pytest
+
+from repro.harness.multiclient import run_concurrent
+from repro.harness.platforms import small_cluster
+from repro.harness.report import Table
+from repro.units import fmt_seconds
+
+NFRAMES = 6_256
+
+
+@pytest.fixture(scope="module")
+def makespans():
+    out = {}
+    for k in (1, 2, 4, 8):
+        out[k] = (
+            run_concurrent(small_cluster, "D-trad", NFRAMES, k),
+            run_concurrent(small_cluster, "D-ada-p", NFRAMES, k),
+        )
+    return out
+
+
+def test_concurrency_sweep(makespans, artifact_sink):
+    table = Table(
+        ["clients", "D-PVFS makespan", "D-ADA(protein) makespan",
+         "PVFS stretch", "advantage"],
+        title=f"Ablation: concurrent clients @{NFRAMES:,} frames",
+    )
+    for k, (trad, ada) in makespans.items():
+        table.add_row(
+            str(k),
+            fmt_seconds(trad.makespan_s),
+            fmt_seconds(ada.makespan_s),
+            f"{trad.stretch:.2f}x",
+            f"{trad.makespan_s / ada.makespan_s:.1f}x",
+        )
+    artifact_sink("ablation_concurrency.txt", table.render())
+
+
+def test_ada_advantage_holds_under_load(makespans):
+    for k, (trad, ada) in makespans.items():
+        assert trad.makespan_s / ada.makespan_s > 3.0
+        assert trad.killed_clients == ada.killed_clients == 0
+
+
+def test_makespans_grow_with_clients(makespans):
+    trads = [makespans[k][0].makespan_s for k in sorted(makespans)]
+    adas = [makespans[k][1].makespan_s for k in sorted(makespans)]
+    assert trads == sorted(trads)
+    assert adas == sorted(adas)
+    # Storage contention bites the traditional path harder in absolute terms.
+    assert (trads[-1] - trads[0]) > (adas[-1] - adas[0])
+
+
+def test_bench_concurrent_point(benchmark):
+    result = benchmark(run_concurrent, small_cluster, "D-ada-p", NFRAMES, 4)
+    assert result.nclients == 4

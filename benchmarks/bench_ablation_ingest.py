@@ -1,0 +1,89 @@
+"""Ablation: ADA's one-time ingest cost vs per-read savings.
+
+ADA moves decompression to storage nodes and pays it *once per dataset*;
+the traditional pipeline pays it on *every* load ("a time-consuming
+repeated effort", paper §1).  This bench computes the break-even read
+count: after how many loads does ADA's up-front pre-processing pay for
+itself?  (Spoiler: before the second load.)
+
+Also quantifies the storage amplification ADA accepts: decompressed
+subsets occupy ~3.3x the compressed archive.
+"""
+
+import pytest
+
+from repro.harness import run_point, ssd_server
+from repro.harness.calibration import E5_2603V4
+from repro.harness.report import Table
+from repro.units import fmt_seconds
+from repro.workloads import SizingModel
+
+
+@pytest.fixture(scope="module")
+def costs():
+    d = SizingModel.paper().dataset(5_006)
+    cpu = E5_2603V4
+    ingest_s = d.raw_nbytes / cpu.decompress_rate + d.raw_nbytes / cpu.scan_rate
+    c_trad = run_point(ssd_server, "C-trad", 5_006).turnaround_s
+    ada_p = run_point(ssd_server, "D-ada-p", 5_006).turnaround_s
+    return d, ingest_s, c_trad, ada_p
+
+
+def test_break_even_analysis(costs, artifact_sink):
+    d, ingest_s, c_trad, ada_p = costs
+    saving_per_read = c_trad - ada_p
+    breakeven = ingest_s / saving_per_read
+    amplification = d.raw_nbytes / d.compressed_nbytes
+    table = Table(["quantity", "value"], title="Ablation: ingest amortization "
+                  "@5,006 frames")
+    table.add_row("one-time ingest (storage-side CPU)", fmt_seconds(ingest_s))
+    table.add_row("traditional C-path turnaround", fmt_seconds(c_trad))
+    table.add_row("ADA(protein) turnaround", fmt_seconds(ada_p))
+    table.add_row("saving per read", fmt_seconds(saving_per_read))
+    table.add_row("break-even read count", f"{breakeven:.2f}")
+    table.add_row("storage amplification (raw/compressed)", f"{amplification:.2f}x")
+    artifact_sink("ablation_ingest.txt", table.render())
+    # The pre-processing pays for itself before the second read.
+    assert breakeven < 2.0
+    assert 2.5 < amplification < 4.0
+
+
+def test_repeated_study_scenario(costs, artifact_sink):
+    """Cumulative time over N replays -- the biologist's actual workflow."""
+    d, ingest_s, c_trad, ada_p = costs
+    table = Table(
+        ["replays", "traditional total", "ADA total (incl. ingest)"],
+        title="Repeated-study cumulative cost",
+    )
+    for n in (1, 2, 5, 10, 50):
+        table.add_row(
+            str(n),
+            fmt_seconds(n * c_trad),
+            fmt_seconds(ingest_s + n * ada_p),
+        )
+    artifact_sink("ablation_repeated_study.txt", table.render())
+    assert ingest_s + 2 * ada_p < 2 * c_trad
+
+
+def test_bench_ingest_pipeline(benchmark, small_workload):
+    """Timed kernel: the real storage-side ingest on materialized bytes."""
+    from repro.core import ADA
+    from repro.fs import LocalFS
+    from repro.sim import Simulator
+    from repro.storage import NVME_SSD_256GB, WD_1TB_HDD
+
+    def ingest():
+        sim = Simulator()
+        ada = ADA(
+            sim,
+            backends={
+                "ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd"),
+                "hdd": LocalFS(sim, WD_1TB_HDD, name="hdd"),
+            },
+        )
+        return sim.run_process(
+            ada.ingest("bar.xtc", small_workload.pdb_text, small_workload.xtc_blob)
+        )
+
+    receipt = benchmark(ingest)
+    assert set(receipt.subset_sizes) == {"p", "m"}

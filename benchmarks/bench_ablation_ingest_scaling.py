@@ -1,0 +1,86 @@
+"""Ablation: parallel storage-side pre-processing.
+
+§2.2's offloading argument has a scaling corollary: each storage node
+pre-processes the stripes it already holds, so ingest time shrinks with
+the storage-node count while the compute node does nothing at all.  This
+bench sweeps the pool width and contrasts the per-node ingest share with
+what the single compute node would pay on *every* load instead.
+"""
+
+import pytest
+
+from repro.harness.calibration import E5_2603V4
+from repro.harness.platforms import small_cluster
+from repro.harness.report import Table
+from repro.units import fmt_seconds
+from repro.workloads import SizingModel
+
+NFRAMES = 6_256
+
+
+def _ingest_time(nodes_per_pool: int) -> float:
+    platform = small_cluster(hdd_nodes=nodes_per_pool, ssd_nodes=nodes_per_pool)
+    d = SizingModel.paper().dataset(NFRAMES)
+    sim = platform.sim
+    t0 = sim.now
+    sim.run_process(
+        platform.ada.ingest_virtual(
+            d.name,
+            label_map=d.label_map(),
+            subset_sizes=d.subset_sizes(),
+            compressed_nbytes=d.compressed_nbytes,
+            charge_cpu=True,
+        )
+    )
+    return sim.now - t0
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {n: _ingest_time(n) for n in (1, 2, 3, 6)}
+
+
+def test_ingest_scaling_table(sweep, artifact_sink):
+    d = SizingModel.paper().dataset(NFRAMES)
+    compute_side = d.raw_nbytes / E5_2603V4.decompress_rate
+    table = Table(
+        ["storage nodes/pool", "ingest (once)", "vs compute-side decompress "
+         "(every load)"],
+        title=f"Ablation: parallel storage-side ingest @{NFRAMES:,} frames",
+    )
+    for n, t in sweep.items():
+        table.add_row(
+            str(2 * n), fmt_seconds(t), f"{compute_side / t:.2f}x per load"
+        )
+    artifact_sink("ablation_ingest_scaling.txt", table.render())
+
+
+def test_ingest_scales_with_storage_nodes(sweep):
+    assert sweep[2] < sweep[1]
+    assert sweep[6] < sweep[3] < sweep[1]
+    # Near-linear: 6 pools of CPUs get within 2x of ideal 6x speedup.
+    assert sweep[1] / sweep[6] > 3.0
+
+
+def test_storage_cpus_do_the_work_not_compute():
+    platform = small_cluster()
+    d = SizingModel.paper().dataset(NFRAMES)
+    sim = platform.sim
+    sim.run_process(
+        platform.ada.ingest_virtual(
+            d.name, label_map=d.label_map(), subset_sizes=d.subset_sizes(),
+            compressed_nbytes=d.compressed_nbytes, charge_cpu=True,
+        )
+    )
+    assert platform.compute.cpu_busy.busy_time() == 0.0
+    total_storage_cpu = sum(
+        cpu.cpu_busy.busy_time() for cpu in platform.ada.storage_cpus
+    )
+    expected = d.raw_nbytes / E5_2603V4.decompress_rate + (
+        d.raw_nbytes / E5_2603V4.scan_rate
+    )
+    assert total_storage_cpu == pytest.approx(expected, rel=0.01)
+
+
+def test_bench_parallel_ingest(benchmark):
+    benchmark(_ingest_time, 3)

@@ -1,0 +1,59 @@
+"""Ablation: client request size on the striped parallel FS.
+
+DESIGN.md calls out per-request overhead as the mechanism behind the
+paper's ">2x better than PVFS" retrieval result: a frame-by-frame reader
+issues stripe-sized requests, ADA's retriever issues multi-megabyte ones.
+This bench sweeps the request size and shows retrieval collapsing toward
+the bandwidth floor as requests grow.
+"""
+
+import pytest
+
+from repro.fs import PVFS, StorageTarget
+from repro.harness.report import Table
+from repro.sim import Simulator
+from repro.storage import Device, WD_1TB_HDD
+from repro.storage.raid import raid0_spec
+from repro.units import GB, KiB, MiB, fmt_bytes, fmt_seconds
+
+REQUEST_SIZES = (64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB)
+PAYLOAD = int(3 * GB)
+
+
+def _read_time(request_size: int) -> float:
+    sim = Simulator()
+    targets = [
+        StorageTarget(Device(sim, raid0_spec(WD_1TB_HDD, 2, name=f"n{i}")))
+        for i in range(3)
+    ]
+    fs = PVFS(sim, targets, request_overhead_s=0.5e-3, metadata_latency_s=0.0)
+    sim.run_process(fs.write("f", nbytes=PAYLOAD))
+    t0 = sim.now
+    sim.run_process(fs.read("f", request_size=request_size))
+    return sim.now - t0
+
+
+def test_request_size_sweep(artifact_sink):
+    table = Table(
+        ["request size", "retrieval", "slowdown vs 16 MiB"],
+        title=f"Ablation: request size for a {fmt_bytes(PAYLOAD)} striped read "
+        "(3 HDD nodes)",
+    )
+    times = {rs: _read_time(rs) for rs in REQUEST_SIZES}
+    floor = times[16 * MiB]
+    for rs in REQUEST_SIZES:
+        table.add_row(
+            fmt_bytes(rs), fmt_seconds(times[rs]), f"{times[rs] / floor:.2f}x"
+        )
+    artifact_sink("ablation_request_size.txt", table.render())
+    # Small requests pay heavily; bulk requests converge to the floor.
+    assert times[64 * KiB] > 1.5 * floor
+    assert times[4 * MiB] < 1.1 * floor
+    # Monotone improvement.
+    ordered = [times[rs] for rs in REQUEST_SIZES]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_bench_striped_read(benchmark):
+    """Timed kernel: one striped bulk read through the DES."""
+    benchmark(_read_time, 4 * MiB)

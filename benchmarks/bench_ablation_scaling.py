@@ -1,0 +1,74 @@
+"""Ablations: storage-node scaling and decompress-rate sensitivity.
+
+* Stripe-width sweep: how retrieval scales as the per-pool node count
+  grows (the cluster's aggregate-bandwidth knob).
+* Decompress-rate sweep: how the Fig. 7b headline (C-ext4 vs
+  D-ADA(protein)) responds to the one truly calibrated CPU constant --
+  showing the paper's 13.4x needs nothing exotic, just a decompressor in
+  the tens of MB/s.
+"""
+
+import pytest
+
+from repro.cluster.node import CpuSpec
+from repro.harness import run_point, small_cluster, ssd_server
+from repro.harness.report import Table
+from repro.units import fmt_seconds, mbps
+
+
+def test_storage_node_scaling(artifact_sink):
+    table = Table(
+        ["nodes per pool", "D-PVFS retrieval", "D-ADA(protein) retrieval"],
+        title="Ablation: storage nodes per pool @6,256 frames",
+    )
+    times = {}
+    for n in (1, 2, 3, 6):
+        factory = lambda n=n: small_cluster(hdd_nodes=n, ssd_nodes=n)
+        d = run_point(factory, "D-trad", 6_256)
+        p = run_point(factory, "D-ada-p", 6_256)
+        times[n] = (d.retrieval_s, p.retrieval_s)
+        table.add_row(str(n), fmt_seconds(d.retrieval_s), fmt_seconds(p.retrieval_s))
+    artifact_sink("ablation_stripe_width.txt", table.render())
+    # More spindles, faster retrieval -- for both systems.
+    assert times[6][0] < times[3][0] < times[1][0]
+    assert times[6][1] < times[1][1]
+
+
+def _cpu(decompress_mbps: float) -> CpuSpec:
+    return CpuSpec(
+        name=f"E5@{decompress_mbps:.0f}MBps",
+        cores=6,
+        ghz=1.7,
+        decompress_rate=mbps(decompress_mbps),
+        scan_rate=mbps(185.0),
+        render_rate=mbps(550.0),
+    )
+
+
+def test_decompress_rate_sensitivity(artifact_sink):
+    table = Table(
+        ["decompress rate", "C-ext4 turnaround", "gap vs D-ADA(protein)"],
+        title="Ablation: decompress-rate sensitivity @5,006 frames",
+    )
+    gaps = {}
+    for rate in (45.0, 90.0, 180.0, 360.0):
+        factory = lambda rate=rate: ssd_server(cpu=_cpu(rate))
+        c = run_point(factory, "C-trad", 5_006)
+        p = run_point(factory, "D-ada-p", 5_006)
+        gaps[rate] = c.turnaround_s / p.turnaround_s
+        table.add_row(
+            f"{rate:.0f} MB/s", fmt_seconds(c.turnaround_s), f"{gaps[rate]:.1f}x"
+        )
+    artifact_sink("ablation_decompress_rate.txt", table.render())
+    # The headline shrinks as decompression gets cheaper but survives a
+    # 2x-faster inflater; only a ~4x faster one halves it.
+    assert gaps[45.0] > gaps[90.0] > gaps[180.0] > gaps[360.0]
+    assert gaps[90.0] > 11.0
+    assert gaps[180.0] > 6.0
+
+
+def test_bench_cluster_build(benchmark):
+    """Timed kernel: platform assembly cost (must stay cheap -- every
+    sweep point builds a fresh world)."""
+    platform = benchmark(small_cluster)
+    assert len(platform.storage_nodes) == 6

@@ -1,0 +1,64 @@
+"""Ablation: how ADA serializes its dispatched subsets.
+
+The paper stores subsets *decompressed* so reads skip inflation entirely
+-- accepting ~3.3x backend storage amplification.  The obvious alternative
+recompresses each subset.  This bench quantifies the trade on real bytes:
+backend storage vs read-time CPU, justifying the paper's choice for
+latency-sensitive visualization.
+"""
+
+import time
+
+import pytest
+
+from repro.core import DataPreProcessor, Decompressor
+from repro.harness.report import Table
+from repro.units import fmt_bytes, fmt_seconds
+
+
+@pytest.fixture(scope="module")
+def variants(small_workload):
+    out = {}
+    for fmt in ("raw", "xtc", "dcd"):
+        result = DataPreProcessor(subset_format=fmt).process_topology(
+            small_workload.system.topology, small_workload.xtc_blob
+        )
+        blob = result.subsets["p"]
+        dec = Decompressor()
+        start = time.perf_counter()
+        dec.decompress(blob)
+        load_s = time.perf_counter() - start
+        out[fmt] = (sum(len(b) for b in result.subsets.values()), len(blob), load_s)
+    return out
+
+
+def test_subset_format_tradeoff(variants, artifact_sink):
+    table = Table(
+        ["format", "backend storage", "protein subset", "protein load CPU"],
+        title="Ablation: subset serialization format",
+    )
+    for fmt, (total, protein, load_s) in variants.items():
+        table.add_row(fmt, fmt_bytes(total), fmt_bytes(protein), fmt_seconds(load_s))
+    artifact_sink("ablation_subset_format.txt", table.render())
+
+
+def test_raw_loads_much_faster_than_xtc(variants):
+    """The paper's choice: no inflation on the read path."""
+    assert variants["raw"][2] < 0.5 * variants["xtc"][2]
+
+
+def test_xtc_stores_much_smaller(variants):
+    assert variants["xtc"][0] < 0.5 * variants["raw"][0]
+
+
+def test_dcd_matches_raw_volume_and_speed(variants):
+    assert variants["dcd"][0] == pytest.approx(variants["raw"][0], rel=0.05)
+
+
+def test_bench_subset_recompression(benchmark, small_workload):
+    """Timed kernel: the extra compression work the 'xtc' option costs."""
+    pre = DataPreProcessor(subset_format="xtc")
+    result = benchmark(
+        pre.process_topology, small_workload.system.topology, small_workload.xtc_blob
+    )
+    assert set(result.subsets) == {"p", "m"}

@@ -1,0 +1,59 @@
+"""Ablation: tag granularity (the paper's 2-way split vs per-class tags).
+
+The prototype uses two tags (p/m); the fine-grained per-class policy lets
+scientists open water or lipid alone at the cost of more containers.
+This bench measures, on real bytes, the selective-load volumes each policy
+enables and the container-count overhead it costs.
+"""
+
+import pytest
+
+from repro.core import TagPolicy
+from repro.harness.report import Table
+from repro.units import fmt_bytes
+
+
+@pytest.fixture(scope="module")
+def split_results(small_workload):
+    return {
+        "protein-vs-misc": small_workload.preprocess(TagPolicy.protein_vs_misc()),
+        "per-class": small_workload.preprocess(TagPolicy.per_class()),
+    }
+
+
+def test_tag_granularity_table(split_results, small_workload, artifact_sink):
+    table = Table(
+        ["policy", "subsets", "bytes moved to open lipids only"],
+        title="Ablation: tag granularity",
+    )
+    for name, result in split_results.items():
+        if "l" in result.subsets:
+            lipid_cost = result.subset_nbytes("l")
+        else:
+            # Coarse policy: lipids hide inside the MISC subset.
+            lipid_cost = result.subset_nbytes("m")
+        table.add_row(name, str(len(result.subsets)), fmt_bytes(lipid_cost))
+    artifact_sink("ablation_tags.txt", table.render())
+
+
+def test_fine_policy_reduces_selective_load(split_results):
+    coarse = split_results["protein-vs-misc"]
+    fine = split_results["per-class"]
+    # Opening lipids alone: per-class moves ~3x less than the MISC blob.
+    assert fine.subset_nbytes("l") < 0.6 * coarse.subset_nbytes("m")
+
+
+def test_both_policies_conserve_volume(split_results):
+    totals = {
+        name: sum(len(b) for b in result.subsets.values())
+        for name, result in split_results.items()
+    }
+    # Same frames either way; only the container header count differs.
+    a, b = totals.values()
+    assert a == pytest.approx(b, rel=0.01)
+
+
+def test_bench_per_class_split(benchmark, small_workload):
+    """Timed kernel: the fine-grained categorize + split."""
+    result = benchmark(small_workload.preprocess, TagPolicy.per_class())
+    assert len(result.subsets) >= 4

@@ -1,0 +1,76 @@
+"""Microbenchmarks of the DES kernel itself.
+
+Every experiment point rebuilds a world and runs thousands of events;
+these kernels keep an eye on the simulator's raw throughput so the sweeps
+stay interactive.
+"""
+
+import pytest
+
+from repro.sim import AllOf, Resource, Simulator
+
+
+def _timeout_chain(n):
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.run_process(proc(sim))
+    return sim.events_processed
+
+
+def _contended_resource(n_procs, capacity):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+
+    def worker(sim, res):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(1.0)
+
+    for _ in range(n_procs):
+        sim.process(worker(sim, res))
+    sim.run()
+    return sim.now
+
+
+def _fan_out_fan_in(width, depth):
+    sim = Simulator()
+
+    def leaf(sim):
+        yield sim.timeout(1.0)
+
+    def parent(sim):
+        for _ in range(depth):
+            procs = [sim.process(leaf(sim)) for _ in range(width)]
+            yield AllOf(sim, procs)
+
+    sim.run_process(parent(sim))
+    return sim.now
+
+
+def test_bench_timeout_chain(benchmark):
+    events = benchmark(_timeout_chain, 2000)
+    assert events >= 2000
+
+
+def test_bench_contended_resource(benchmark):
+    makespan = benchmark(_contended_resource, 500, 4)
+    assert makespan == pytest.approx(125.0)
+
+
+def test_bench_fan_out_fan_in(benchmark):
+    now = benchmark(_fan_out_fan_in, 50, 10)
+    assert now == pytest.approx(10.0)
+
+
+def test_event_throughput_floor():
+    """The kernel dispatches at least ~100k events/second."""
+    import time
+
+    start = time.perf_counter()
+    events = _timeout_chain(20_000)
+    rate = events / (time.perf_counter() - start)
+    assert rate > 100_000, f"only {rate:,.0f} events/s"

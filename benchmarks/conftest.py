@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and the artifact sink.
+
+Every bench regenerates one paper table/figure and both prints it (run
+with ``-s`` to watch) and writes it under ``benchmarks/results/`` so the
+artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact_sink():
+    """Callable writing a named text artifact; returns its path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / name
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[artifact: {path}]")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A shared materialized GPCR workload for the real-bytes benches."""
+    from repro.workloads import build_workload
+
+    return build_workload(natoms=8000, nframes=30, seed=0)

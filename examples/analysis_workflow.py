@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""A complete study workflow: the biologist's day, end to end.
+
+Simulate a GPCR campaign (equilibration + production phases), ingest into
+ADA, load *only the protein* with a tag-selective read, then run the
+standard analysis battery -- RMSD convergence, per-atom RMSF, radius of
+gyration, native-contact stability -- and emit a CSV of the time series.
+
+Run:  python examples/analysis_workflow.py
+"""
+
+import csv
+import io
+
+import numpy as np
+
+from repro import ADA, Simulator, VMDSession, build_gpcr_system
+from repro.analysis import (
+    gyration_radius,
+    native_contact_fraction,
+    rmsd_trajectory,
+    rmsf,
+)
+from repro.formats import write_pdb
+from repro.fs import LocalFS
+from repro.mdengine import LangevinEngine, SimulationCampaign
+from repro.storage import NVME_SSD_256GB, WD_1TB_HDD
+from repro.units import fmt_bytes
+from repro.vmd import select
+
+
+def main() -> None:
+    # 1. The campaign: one structure, two motion phases (paper §2.1).
+    system = build_gpcr_system(natoms_target=4000, seed=33)
+    pdb_text = write_pdb(system.topology, system.coords)
+    campaign = SimulationCampaign(engine=LangevinEngine(system, seed=34))
+    campaign.run_phase("equilibration", nframes=10, stride=20)
+    campaign.run_phase("production", nframes=30, stride=20)
+
+    # 2. Both phases ingest under one structure analysis.
+    sim = Simulator()
+    ada = ADA(
+        sim,
+        backends={
+            "ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd"),
+            "hdd": LocalFS(sim, WD_1TB_HDD, name="hdd"),
+        },
+    )
+    sim.run_process(
+        ada.ingest("prod.xtc", pdb_text, campaign.phase_blob("production"))
+    )
+    sim.run_process(
+        ada.ingest("equi.xtc", pdb_text, campaign.phase_blob("equilibration"))
+    )
+
+    # 3. Protein-only load of the production phase.
+    session = VMDSession(ada=ada)
+    session.mol_new(pdb_text, name="production-protein")
+    load = session.mol_addfile_tag("prod.xtc", "p")
+    traj = load.trajectory
+    print(
+        f"loaded {traj.natoms} protein atoms x {traj.nframes} frames "
+        f"({fmt_bytes(load.source_nbytes)} moved, zero decompression)"
+    )
+
+    # 4. The analysis battery.
+    series = rmsd_trajectory(traj)
+    fluct = rmsf(traj)
+    rg = gyration_radius(traj)
+    ca = select(session.top.loaded_topology(), "name CA")
+    q = native_contact_fraction(traj, cutoff=10.0, selection=ca)
+
+    print(f"RMSD:   drifts to {series[-1]:.2f} A by frame {traj.nframes - 1}")
+    print(f"RMSF:   median {np.median(fluct):.2f} A over {len(fluct)} atoms")
+    print(f"Rg:     {rg.mean():.2f} +/- {rg.std():.2f} A (stable fold)")
+    print(f"Q(t):   native CA contacts stay at {100 * q.min():.0f}-100%")
+
+    # 5. Machine-readable time series, like any real study would keep.
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["frame", "time_ps", "rmsd_A", "rg_A", "q_native"])
+    for i in range(traj.nframes):
+        writer.writerow(
+            [i, f"{traj.times_ps[i]:.1f}", f"{series[i]:.3f}",
+             f"{rg[i]:.3f}", f"{q[i]:.3f}"]
+        )
+    print(f"\ntime-series CSV ({buffer.tell()} bytes), first lines:")
+    for line in buffer.getvalue().splitlines()[:4]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

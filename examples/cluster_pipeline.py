@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""The nine-node cluster experiment (paper §4.2 / Fig. 9), modeled.
+
+Sweeps frame counts over the four Table-3 scenarios on the hybrid
+OrangeFS cluster and prints the retrieval / turnaround / memory series the
+paper plots, plus the headline ratios.
+
+Run:  python examples/cluster_pipeline.py
+"""
+
+from repro import run_point, run_sweep, series_pivot, small_cluster
+from repro.harness.report import Table
+from repro.workloads import CLUSTER_FRAME_COUNTS
+
+
+def main() -> None:
+    platform = small_cluster()
+    print(platform.description, "\n")
+    params = Table(["parameter", "value"], title="Table 4-style parameters")
+    for name, value in platform.parameters():
+        params.add_row(name, value)
+    print(params, "\n")
+
+    results = run_sweep(small_cluster, CLUSTER_FRAME_COUNTS)
+    for metric in ("retrieval", "turnaround", "memory"):
+        print(series_pivot(results, metric, fs_label="PVFS"), "\n")
+
+    d = run_point(small_cluster, "D-trad", 6_256)
+    a = run_point(small_cluster, "D-ada-all", 6_256)
+    p = run_point(small_cluster, "D-ada-p", 6_256)
+    print("headlines @6,256 frames:")
+    print(
+        f"  D-ADA(all) retrieval beats D-PVFS by "
+        f"{d.retrieval_s / a.retrieval_s:.1f}x   (paper: >2x)"
+    )
+    print(
+        f"  D-PVFS turnaround is {d.turnaround_s / p.turnaround_s:.1f}x "
+        f"D-ADA(protein)          (paper: 9x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""The 1 TB fat-node experiment (paper §4.3 / Fig. 10), modeled.
+
+Sweeps up to 5,004,800 frames on the XFS RAID-50 server, reproducing the
+OOM-kill truncations (XFS and ADA(all) die at 1,876,800 frames; ADA
+(protein) survives to 5,004,800) and the >3x energy gap.
+
+Run:  python examples/fatnode_energy.py
+"""
+
+from repro import fat_node, run_point, run_sweep, series_pivot
+from repro.harness.report import Table
+from repro.units import to_kj
+from repro.workloads import FAT_NODE_FRAME_COUNTS
+
+
+def main() -> None:
+    platform = fat_node()
+    print(platform.description, "\n")
+    params = Table(["parameter", "value"], title="Table 5-style parameters")
+    for name, value in platform.parameters():
+        params.add_row(name, value)
+    print(params, "\n")
+
+    scenarios = ("C-trad", "D-ada-all", "D-ada-p")
+    results = run_sweep(fat_node, FAT_NODE_FRAME_COUNTS, scenario_keys=scenarios)
+    for metric in ("retrieval", "turnaround", "memory", "energy"):
+        print(series_pivot(results, metric, fs_label="XFS"), "\n")
+
+    kills = [(r.scenario, r.nframes) for r in results if r.killed]
+    print("OOM kills (scenario, first killed frame count):")
+    seen = set()
+    for scenario, nframes in kills:
+        if scenario not in seen:
+            seen.add(scenario)
+            print(f"  {scenario:10s} killed at {nframes:,} frames")
+
+    xfs = run_point(fat_node, "C-trad", 1_564_000)
+    ada = run_point(fat_node, "D-ada-p", 1_564_000)
+    print(
+        f"\nenergy @1,564,000 frames: XFS {to_kj(xfs.energy_j):,.0f} kJ vs "
+        f"ADA(protein) {to_kj(ada.energy_j):,.0f} kJ "
+        f"({xfs.energy_j / ada.energy_j:.1f}x, paper: >3x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

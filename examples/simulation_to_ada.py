@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""A running MD simulation streaming into ADA, analyzed live.
+
+The full upstream story of Fig. 3b: a Langevin MD engine integrates a
+GPCR-in-membrane system and emits ``.xtc`` chunks as it goes; each chunk
+streams into ADA, which splits it storage-side; the biologist then loads
+only the protein subset and computes RMSD/RMSF/Rg on it.
+
+Run:  python examples/simulation_to_ada.py
+"""
+
+import numpy as np
+
+from repro import ADA, Simulator, VMDSession, build_gpcr_system
+from repro.analysis import gyration_radius, rmsd_trajectory, rmsf
+from repro.formats import write_pdb
+from repro.fs import LocalFS
+from repro.mdengine import ChunkedXtcWriter, LangevinEngine
+from repro.storage import NVME_SSD_256GB, WD_1TB_HDD
+from repro.units import fmt_bytes
+
+
+def main() -> None:
+    system = build_gpcr_system(natoms_target=5000, seed=23)
+    pdb_text = write_pdb(system.topology, system.coords)
+    engine = LangevinEngine(system, dt_ps=0.002, seed=24)
+    print(f"simulating {system.topology!r}")
+
+    sim = Simulator()
+    ada = ADA(
+        sim,
+        backends={
+            "ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd"),
+            "hdd": LocalFS(sim, WD_1TB_HDD, name="hdd"),
+        },
+    )
+
+    # Chunk 0 establishes the dataset (structure analysis happens once)...
+    boot = ChunkedXtcWriter(chunk_frames=10)
+    for frame in engine.sample(10, stride=25):
+        boot.add_frame(frame)
+    boot.flush()
+    sim.run_process(
+        ada.ingest("live.xtc", pdb_text, next(iter(boot.chunks.values())))
+    )
+
+    # ...then the engine keeps running, streaming chunks into ADA.
+    def pump(name, blob):
+        receipt = sim.run_process(ada.ingest_append("live.xtc", blob))
+        print(
+            f"  streamed {name}: +{fmt_bytes(sum(receipt.subset_sizes.values()))} "
+            f"raw split storage-side"
+        )
+
+    writer = ChunkedXtcWriter(basename="live", chunk_frames=10, on_chunk=pump)
+    for frame in engine.sample(30, stride=25):
+        writer.add_frame(frame)
+    writer.flush()
+
+    # Tag-selective load of everything simulated so far.
+    session = VMDSession(ada=ada)
+    session.mol_new(pdb_text, name="live-protein")
+    load = session.mol_addfile_tag("live.xtc", "p")
+    traj = load.trajectory
+    print(
+        f"\nloaded protein subset: {traj.natoms} atoms x {traj.nframes} frames "
+        f"({fmt_bytes(load.source_nbytes)})"
+    )
+
+    # The analysis the biologist actually wanted.
+    series = rmsd_trajectory(traj)
+    fluct = rmsf(traj)
+    rg = gyration_radius(traj)
+    print(f"RMSD vs frame 0:  max {series.max():.2f} A (drifts as it samples)")
+    print(f"RMSF:             median {np.median(fluct):.2f} A, "
+          f"most mobile atom {fluct.max():.2f} A")
+    print(f"radius of gyration: {rg.mean():.1f} +/- {rg.std():.2f} A")
+
+
+if __name__ == "__main__":
+    main()

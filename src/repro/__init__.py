@@ -1,0 +1,114 @@
+"""repro: a reproduction of *ADA: An Application-Conscious Data Acquirer
+for Visual Molecular Dynamics* (ICPP 2021).
+
+Public API tour
+---------------
+
+Data path (real bytes)::
+
+    from repro import build_workload, ADA, VMDSession
+
+    workload = build_workload(natoms=5000, nframes=20)   # synthetic GPCR
+    # ... wire ADA over two backend file systems, ingest, then:
+    session.mol_addfile_tag("bar.xtc", "p")              # protein-only load
+
+Paper-scale experiments (modeled)::
+
+    from repro import run_sweep, ssd_server, SSD_SERVER_FRAME_COUNTS
+    results = run_sweep(ssd_server, SSD_SERVER_FRAME_COUNTS)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    ADA,
+    Categorizer,
+    DataPreProcessor,
+    Decompressor,
+    IODeterminator,
+    LabelMap,
+    PlacementPolicy,
+    TagPolicy,
+    build_label_map,
+)
+from repro.datagen import build_gpcr_system, generate_trajectory
+from repro.formats import (
+    AtomClass,
+    Topology,
+    Trajectory,
+    decode_xtc,
+    encode_xtc,
+    parse_pdb,
+    write_pdb,
+)
+from repro.fs import PLFS, PVFS, LocalFS, ObjectStore, StorageTarget
+from repro.harness import (
+    SCENARIOS,
+    RunResult,
+    fat_node,
+    measure_calibration,
+    run_point,
+    run_sweep,
+    series_pivot,
+    small_cluster,
+    ssd_server,
+)
+from repro.sim import Simulator
+from repro.vmd import Animator, GeometryBuilder, Molecule, VMDSession
+from repro.workloads import (
+    CLUSTER_FRAME_COUNTS,
+    FAT_NODE_FRAME_COUNTS,
+    SSD_SERVER_FRAME_COUNTS,
+    SizingModel,
+    VirtualDataset,
+    build_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADA",
+    "Animator",
+    "AtomClass",
+    "CLUSTER_FRAME_COUNTS",
+    "Categorizer",
+    "DataPreProcessor",
+    "Decompressor",
+    "FAT_NODE_FRAME_COUNTS",
+    "GeometryBuilder",
+    "IODeterminator",
+    "LabelMap",
+    "LocalFS",
+    "Molecule",
+    "ObjectStore",
+    "PLFS",
+    "PVFS",
+    "PlacementPolicy",
+    "RunResult",
+    "SCENARIOS",
+    "SSD_SERVER_FRAME_COUNTS",
+    "Simulator",
+    "SizingModel",
+    "StorageTarget",
+    "TagPolicy",
+    "Topology",
+    "Trajectory",
+    "VMDSession",
+    "VirtualDataset",
+    "build_gpcr_system",
+    "build_label_map",
+    "build_workload",
+    "decode_xtc",
+    "encode_xtc",
+    "fat_node",
+    "generate_trajectory",
+    "measure_calibration",
+    "parse_pdb",
+    "run_point",
+    "run_sweep",
+    "series_pivot",
+    "small_cluster",
+    "ssd_server",
+    "write_pdb",
+]

@@ -1,0 +1,49 @@
+"""Trajectory analysis: the "analyze" half of VMD's charter.
+
+The paper's motivation is biologists who "repeatedly study the behaviors
+of proteins" -- playback plus quantitative analysis over the active
+subset.  This package provides the standard observables those studies
+compute (all vectorized over frames), so the examples and benches can
+exercise a realistic analysis workload downstream of an ADA tag-selective
+load.
+"""
+
+from repro.analysis.align import kabsch_rotation, superpose
+from repro.analysis.contacts import (
+    contact_count,
+    contact_map,
+    native_contact_fraction,
+)
+from repro.analysis.observables import (
+    center_of_mass,
+    end_to_end_distance,
+    gyration_radius,
+    mean_square_displacement,
+)
+from repro.analysis.rmsd import pairwise_rmsd, rmsd, rmsd_trajectory, rmsf
+from repro.analysis.timeseries import (
+    BlockResult,
+    autocorrelation,
+    block_average,
+    integrated_act,
+)
+
+__all__ = [
+    "BlockResult",
+    "autocorrelation",
+    "block_average",
+    "integrated_act",
+    "center_of_mass",
+    "contact_count",
+    "contact_map",
+    "end_to_end_distance",
+    "gyration_radius",
+    "kabsch_rotation",
+    "mean_square_displacement",
+    "native_contact_fraction",
+    "pairwise_rmsd",
+    "rmsd",
+    "rmsd_trajectory",
+    "rmsf",
+    "superpose",
+]

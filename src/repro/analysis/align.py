@@ -1,0 +1,49 @@
+"""Structure superposition (Kabsch algorithm).
+
+RMSD over a trajectory is only meaningful after removing rigid-body
+motion; the Kabsch algorithm finds the optimal rotation in one SVD.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+__all__ = ["kabsch_rotation", "superpose"]
+
+
+def _validate_pair(mobile: np.ndarray, reference: np.ndarray) -> None:
+    if mobile.shape != reference.shape or mobile.ndim != 2 or mobile.shape[1] != 3:
+        raise TopologyError(
+            f"superposition needs matching (N, 3) arrays, got "
+            f"{mobile.shape} vs {reference.shape}"
+        )
+
+
+def kabsch_rotation(mobile: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Optimal rotation matrix aligning centered ``mobile`` onto centered
+    ``reference`` (proper rotation: reflections are corrected)."""
+    _validate_pair(mobile, reference)
+    m = mobile - mobile.mean(axis=0)
+    r = reference - reference.mean(axis=0)
+    h = m.T @ r
+    u, _s, vt = np.linalg.svd(h)
+    d = np.sign(np.linalg.det(u @ vt))
+    correction = np.diag([1.0, 1.0, d])
+    return u @ correction @ vt
+
+
+def superpose(
+    mobile: np.ndarray, reference: np.ndarray
+) -> Tuple[np.ndarray, float]:
+    """Align ``mobile`` onto ``reference``; returns ``(aligned, rmsd)``."""
+    _validate_pair(mobile, reference)
+    rotation = kabsch_rotation(mobile, reference)
+    centered = mobile - mobile.mean(axis=0)
+    aligned = centered @ rotation + reference.mean(axis=0)
+    delta = aligned - reference
+    value = float(np.sqrt((delta**2).sum(axis=1).mean()))
+    return aligned, value

@@ -1,0 +1,43 @@
+"""Simple structural/dynamic observables, vectorized over frames."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.formats.trajectory import Trajectory
+
+__all__ = [
+    "center_of_mass",
+    "gyration_radius",
+    "end_to_end_distance",
+    "mean_square_displacement",
+]
+
+
+def center_of_mass(trajectory: Trajectory) -> np.ndarray:
+    """``(nframes, 3)`` geometric centers (unit masses)."""
+    return trajectory.coords.mean(axis=1)
+
+
+def gyration_radius(trajectory: Trajectory) -> np.ndarray:
+    """Per-frame radius of gyration -- compactness of the fold."""
+    coords = trajectory.coords.astype(np.float64)
+    com = coords.mean(axis=1, keepdims=True)
+    return np.sqrt(((coords - com) ** 2).sum(axis=2).mean(axis=1))
+
+
+def end_to_end_distance(trajectory: Trajectory) -> np.ndarray:
+    """Per-frame distance between the first and last atom (chain span)."""
+    if trajectory.natoms < 2:
+        raise TopologyError("end-to-end distance needs at least two atoms")
+    delta = trajectory.coords[:, -1, :] - trajectory.coords[:, 0, :]
+    return np.linalg.norm(delta.astype(np.float64), axis=1)
+
+
+def mean_square_displacement(trajectory: Trajectory) -> np.ndarray:
+    """MSD(t) against frame 0, averaged over atoms -- the diffusion probe
+    that distinguishes bulk water from folded protein."""
+    coords = trajectory.coords.astype(np.float64)
+    delta = coords - coords[0:1]
+    return (delta**2).sum(axis=2).mean(axis=1)

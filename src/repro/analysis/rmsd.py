@@ -1,0 +1,62 @@
+"""RMSD / RMSF: the workhorse observables of protein trajectory studies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.align import superpose
+from repro.errors import TopologyError
+from repro.formats.trajectory import Trajectory
+
+__all__ = ["rmsd", "rmsd_trajectory", "rmsf", "pairwise_rmsd"]
+
+
+def rmsd(a: np.ndarray, b: np.ndarray, align: bool = True) -> float:
+    """RMSD between two conformations (optionally after superposition)."""
+    if align:
+        _, value = superpose(a, b)
+        return value
+    if a.shape != b.shape:
+        raise TopologyError(f"shape mismatch {a.shape} vs {b.shape}")
+    delta = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    return float(np.sqrt((delta**2).sum(axis=1).mean()))
+
+
+def rmsd_trajectory(
+    trajectory: Trajectory, reference_frame: int = 0, align: bool = True
+) -> np.ndarray:
+    """Per-frame RMSD against one reference frame."""
+    if not 0 <= reference_frame < trajectory.nframes:
+        raise TopologyError(f"reference frame {reference_frame} out of range")
+    reference = trajectory.coords[reference_frame].astype(np.float64)
+    return np.array(
+        [rmsd(trajectory.coords[i], reference, align=align)
+         for i in range(trajectory.nframes)]
+    )
+
+
+def rmsf(trajectory: Trajectory) -> np.ndarray:
+    """Per-atom root-mean-square fluctuation around the mean structure.
+
+    Fully vectorized: one mean over frames, one reduction.
+    """
+    coords = trajectory.coords.astype(np.float64)
+    mean = coords.mean(axis=0, keepdims=True)
+    return np.sqrt(((coords - mean) ** 2).sum(axis=2).mean(axis=0))
+
+
+def pairwise_rmsd(trajectory: Trajectory, align: bool = False) -> np.ndarray:
+    """Frame-by-frame RMSD matrix (the clustering input of MD studies).
+
+    The unaligned case is vectorized over all pairs via broadcasting.
+    """
+    coords = trajectory.coords.astype(np.float64)
+    if not align:
+        diff = coords[:, None, :, :] - coords[None, :, :, :]
+        return np.sqrt((diff**2).sum(axis=3).mean(axis=2))
+    n = trajectory.nframes
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = rmsd(coords[i], coords[j], align=True)
+    return out

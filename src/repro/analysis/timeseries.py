@@ -1,0 +1,96 @@
+"""Time-series statistics for MD observables.
+
+Correlated trajectories make naive error bars lie; the standard remedies
+are block averaging (Flyvbjerg-Petersen) and integrated autocorrelation
+times.  These are the tools a study built on this library would use to
+decide whether a production phase is long enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+__all__ = ["autocorrelation", "integrated_act", "block_average", "BlockResult"]
+
+
+def autocorrelation(series: np.ndarray, max_lag: int = None) -> np.ndarray:
+    """Normalized autocorrelation function C(tau), C(0) = 1.
+
+    FFT-free direct estimator; adequate for the series lengths MD
+    observables produce per study.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 1 or x.size < 2:
+        raise TopologyError("autocorrelation needs a 1-D series of length >= 2")
+    n = x.size
+    if max_lag is None:
+        max_lag = n // 2
+    max_lag = min(max_lag, n - 1)
+    x = x - x.mean()
+    var = float((x * x).mean())
+    if var == 0.0:
+        out = np.zeros(max_lag + 1)
+        out[0] = 1.0
+        return out
+    out = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        out[lag] = (x[: n - lag] * x[lag:]).mean() / var
+    return out
+
+
+def integrated_act(series: np.ndarray, window_factor: float = 5.0) -> float:
+    """Integrated autocorrelation time with an adaptive window cutoff.
+
+    Sums C(tau) until ``tau > window_factor * tau_int`` (the standard
+    self-consistent window); returns at least 0.5 (uncorrelated data).
+    """
+    c = autocorrelation(series)
+    tau = 0.5
+    for lag in range(1, len(c)):
+        tau += c[lag]
+        if lag > window_factor * tau:
+            break
+    return max(tau, 0.5)
+
+
+@dataclass(frozen=True)
+class BlockResult:
+    """One row of a block-averaging analysis."""
+
+    block_size: int
+    nblocks: int
+    mean: float
+    stderr: float
+
+
+def block_average(series: np.ndarray, min_blocks: int = 4) -> list:
+    """Flyvbjerg-Petersen block averaging.
+
+    Returns :class:`BlockResult` rows for block sizes 1, 2, 4, ... while at
+    least ``min_blocks`` blocks remain.  The standard error plateaus once
+    blocks exceed the correlation time; the last row is the honest error
+    bar.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 1 or x.size < min_blocks:
+        raise TopologyError(f"need a 1-D series of at least {min_blocks} points")
+    results = []
+    size = 1
+    while x.size // size >= min_blocks:
+        nblocks = x.size // size
+        blocks = x[: nblocks * size].reshape(nblocks, size).mean(axis=1)
+        stderr = float(blocks.std(ddof=1) / np.sqrt(nblocks))
+        results.append(
+            BlockResult(
+                block_size=size,
+                nblocks=nblocks,
+                mean=float(blocks.mean()),
+                stderr=stderr,
+            )
+        )
+        size *= 2
+    return results

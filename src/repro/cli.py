@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate any paper table/figure directly.
+
+Usage::
+
+    python -m repro list                # what can be regenerated
+    python -m repro fig7                # one figure to stdout
+    python -m repro fig10 -o out.txt    # ... or to a file
+    python -m repro all -d results/     # everything into a directory
+
+The same code paths the benchmark suite drives, minus pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict
+
+from repro.harness import (
+    fat_node,
+    measure_calibration,
+    run_sweep,
+    series_pivot,
+    small_cluster,
+    ssd_server,
+)
+from repro.harness.profilecpu import measured_cpu_profile, modeled_cpu_profile
+from repro.harness.report import Table
+from repro.units import to_gb, to_mb
+from repro.workloads import (
+    CLUSTER_FRAME_COUNTS,
+    FAT_NODE_FRAME_COUNTS,
+    SSD_SERVER_FRAME_COUNTS,
+    SizingModel,
+)
+
+__all__ = ["main", "GENERATORS"]
+
+
+def _gen_table2() -> str:
+    model = SizingModel.paper()
+    table = Table(
+        ["frames", "ext4 (compressed, MB)", "ADA (protein, MB)", "raw (MB)"],
+        title="Table 2: data size comparisons (ext4 vs ADA)",
+    )
+    for nframes in SSD_SERVER_FRAME_COUNTS:
+        d = model.dataset(nframes)
+        table.add_row(
+            f"{nframes:,}",
+            f"{to_mb(d.compressed_nbytes):,.0f}",
+            f"{to_mb(d.protein_nbytes):,.0f}",
+            f"{to_mb(d.raw_nbytes):,.0f}",
+        )
+    return table.render()
+
+
+def _gen_table6() -> str:
+    model = SizingModel.paper()
+    table = Table(
+        ["frames", "XFS (compressed, GB)", "ADA (protein, GB)", "raw (GB)"],
+        title="Table 6: data size comparisons (XFS vs ADA)",
+    )
+    for nframes in FAT_NODE_FRAME_COUNTS:
+        d = model.dataset(nframes)
+        table.add_row(
+            f"{nframes:,}",
+            f"{to_gb(d.compressed_nbytes):,.1f}",
+            f"{to_gb(d.protein_nbytes):,.1f}",
+            f"{to_gb(d.raw_nbytes):,.1f}",
+        )
+    return table.render()
+
+
+def _gen_fig7() -> str:
+    results = run_sweep(ssd_server, SSD_SERVER_FRAME_COUNTS)
+    panels = [
+        series_pivot(results, metric, fs_label="ext4").render()
+        for metric in ("retrieval", "turnaround", "memory")
+    ]
+    return "\n\n".join(panels)
+
+
+def _gen_fig8() -> str:
+    parts = []
+    for pipeline in ("C-trad", "D-trad", "D-ada-p"):
+        profile = modeled_cpu_profile(5_006, pipeline=pipeline)
+        table = Table(
+            ["phase", "seconds", "share"],
+            title=f"Fig. 8 (modeled): CPU burst, {pipeline}",
+        )
+        for phase, seconds, pct in profile.rows():
+            table.add_row(phase, f"{seconds:.2f}", f"{pct:.1f}%")
+        parts.append(table.render())
+    live = measured_cpu_profile(pipeline="C-trad")
+    table = Table(
+        ["phase", "seconds", "share"],
+        title="Fig. 8 (measured on live Python pipeline): C path",
+    )
+    for phase, seconds, pct in live.rows():
+        table.add_row(phase, f"{seconds:.4f}", f"{pct:.1f}%")
+    parts.append(table.render())
+    return "\n\n".join(parts)
+
+
+def _gen_fig9() -> str:
+    params = Table(["parameter", "value"], title="Table 4: system parameters")
+    for name, value in small_cluster().parameters():
+        params.add_row(name, value)
+    results = run_sweep(small_cluster, CLUSTER_FRAME_COUNTS)
+    panels = [params.render()] + [
+        series_pivot(results, metric, fs_label="PVFS").render()
+        for metric in ("retrieval", "turnaround", "memory")
+    ]
+    return "\n\n".join(panels)
+
+
+def _gen_fig10() -> str:
+    params = Table(["parameter", "value"], title="Table 5: fat-node parameters")
+    for name, value in fat_node().parameters():
+        params.add_row(name, value)
+    results = run_sweep(
+        fat_node, FAT_NODE_FRAME_COUNTS,
+        scenario_keys=("C-trad", "D-ada-all", "D-ada-p"),
+    )
+    panels = [params.render()] + [
+        series_pivot(results, metric, fs_label="XFS").render()
+        for metric in ("retrieval", "turnaround", "memory", "energy")
+    ]
+    return "\n\n".join(panels)
+
+
+def _gen_calibration() -> str:
+    report = measure_calibration()
+    table = Table(
+        ["constant", "paper", "measured"],
+        title="Calibration: paper constants vs live generator + codec",
+    )
+    for row in report.rows():
+        table.add_row(*row)
+    return table.render()
+
+
+def _gen_csv(platform_factory, frame_counts, fs_label, scenario_keys=None):
+    from repro.harness.figdata import results_to_csv
+
+    results = run_sweep(platform_factory, frame_counts, scenario_keys=scenario_keys)
+    return results_to_csv(results, fs_label=fs_label).rstrip()
+
+
+GENERATORS: Dict[str, Callable[[], str]] = {
+    "table2": _gen_table2,
+    "table6": _gen_table6,
+    "fig7": _gen_fig7,
+    "fig8": _gen_fig8,
+    "fig9": _gen_fig9,
+    "fig10": _gen_fig10,
+    "calibration": _gen_calibration,
+    "fig7-csv": lambda: _gen_csv(ssd_server, SSD_SERVER_FRAME_COUNTS, "ext4"),
+    "fig9-csv": lambda: _gen_csv(small_cluster, CLUSTER_FRAME_COUNTS, "PVFS"),
+    "fig10-csv": lambda: _gen_csv(
+        fat_node, FAT_NODE_FRAME_COUNTS, "XFS",
+        scenario_keys=("C-trad", "D-ada-all", "D-ada-p"),
+    ),
+    "scorecard": lambda: __import__(
+        "repro.harness.scorecard", fromlist=["render_scorecard"]
+    ).render_scorecard(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the ADA paper (ICPP 2021).",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(GENERATORS) + ["all", "list"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "-o", "--output", type=pathlib.Path, default=None,
+        help="write to this file instead of stdout",
+    )
+    parser.add_argument(
+        "-d", "--directory", type=pathlib.Path, default=None,
+        help="(with 'all') directory to write one file per artifact",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "list":
+        for name in sorted(GENERATORS):
+            print(name)
+        return 0
+    if args.target == "all":
+        directory = args.directory or pathlib.Path("results")
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, gen in sorted(GENERATORS.items()):
+            path = directory / f"{name}.txt"
+            path.write_text(gen() + "\n")
+            print(f"wrote {path}", file=sys.stderr)
+        return 0
+    text = GENERATORS[args.target]()
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Cluster substrate: nodes, memory accounting, and energy integration.
+
+The fat-node OOM kills of Fig. 10 come from :class:`MemoryLedger` capacity
+enforcement; the energy series of Fig. 10d comes from integrating node
+power envelopes over the busy intervals the DES records.
+"""
+
+from repro.cluster.memory import MemoryLedger
+from repro.cluster.node import ComputeNode, CpuSpec, StorageNode
+from repro.cluster.energy import cluster_energy, node_energy
+
+__all__ = [
+    "ComputeNode",
+    "CpuSpec",
+    "MemoryLedger",
+    "StorageNode",
+    "cluster_energy",
+    "node_energy",
+]

@@ -1,0 +1,86 @@
+"""Node memory accounting with OOM-kill semantics.
+
+VMD's data-processing pipeline allocates several large buffers -- the
+compressed file, the decompressed frame array, the filtered active subset
+(paper §2.1) -- and the fat-node experiments (Fig. 10) end exactly when
+their sum crosses physical memory: "both XFS and ADA (all) are killed by
+the system due to memory shortage".  :class:`MemoryLedger` reproduces that:
+labeled allocations, capacity enforcement via :class:`OutOfMemoryError`,
+and peak tracking (the quantity Figs. 7c/9c/10c plot).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import OutOfMemoryError
+
+__all__ = ["MemoryLedger"]
+
+
+class MemoryLedger:
+    """Labeled allocation tracking against a fixed capacity."""
+
+    def __init__(self, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"memory capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self._allocations: Dict[str, float] = {}
+        self.peak = 0.0
+
+    @property
+    def in_use(self) -> float:
+        return sum(self._allocations.values())
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.in_use
+
+    def held(self, label: str) -> float:
+        """Bytes currently allocated under ``label`` (0 if none)."""
+        return self._allocations.get(label, 0.0)
+
+    def allocate(self, label: str, nbytes: float) -> None:
+        """Grow ``label`` by ``nbytes``; raises :class:`OutOfMemoryError`
+        (the OOM kill) when capacity would be exceeded."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        in_use = self.in_use
+        if in_use + nbytes > self.capacity:
+            raise OutOfMemoryError(
+                requested=nbytes, in_use=in_use, capacity=self.capacity
+            )
+        self._allocations[label] = self._allocations.get(label, 0.0) + nbytes
+        self.peak = max(self.peak, in_use + nbytes)
+
+    def free(self, label: str) -> float:
+        """Release everything under ``label``; returns the freed bytes."""
+        return self._allocations.pop(label, 0.0)
+
+    def shrink(self, label: str, nbytes: float) -> None:
+        """Release part of a labeled allocation (streaming-decompress
+        freeing consumed compressed chunks)."""
+        held = self._allocations.get(label, 0.0)
+        if nbytes > held + 1e-6:
+            raise ValueError(
+                f"shrink of {nbytes:.3e} B exceeds {held:.3e} B held by {label!r}"
+            )
+        remaining = held - nbytes
+        if remaining <= 1e-9:
+            self._allocations.pop(label, None)
+        else:
+            self._allocations[label] = remaining
+
+    def reset(self) -> None:
+        """Free everything and clear the peak (a fresh process)."""
+        self._allocations.clear()
+        self.peak = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._allocations)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryLedger(in_use={self.in_use:.3e}, peak={self.peak:.3e}, "
+            f"capacity={self.capacity:.3e})"
+        )

@@ -1,0 +1,70 @@
+"""The data decompressor.
+
+Wraps the XTC codec for ADA's storage-side use: "the data decompressor
+will be invoked if the original data is compressed" (§3.1).  Pass-through
+for raw containers, so the pre-processor accepts either representation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+from repro.formats.dcd import DCD_MAGIC, decode_dcd
+from repro.formats.trajectory import Trajectory
+from repro.formats.trr import TRR_MAGIC, decode_trr
+from repro.formats.xtc import (
+    RAW_MAGIC,
+    XTC_MAGIC,
+    count_frames,
+    decode_raw,
+    decode_xtc,
+    iter_frame_infos,
+)
+
+__all__ = ["Decompressor"]
+
+
+class Decompressor:
+    """Format-sniffing trajectory decoder."""
+
+    @staticmethod
+    def sniff(data: bytes) -> str:
+        """``'xtc'``, ``'raw'``, ``'dcd'``, or :class:`CodecError`."""
+        if len(data) < 8:
+            raise CodecError("stream too short to identify")
+        magic = int.from_bytes(data[:4], "little", signed=True)
+        if magic == XTC_MAGIC:
+            return "xtc"
+        if magic == RAW_MAGIC:
+            return "raw"
+        if magic == TRR_MAGIC:
+            return "trr"
+        if data[4:8] == DCD_MAGIC:
+            return "dcd"
+        raise CodecError(f"unknown container magic {magic}")
+
+    def is_compressed(self, data: bytes) -> bool:
+        return self.sniff(data) == "xtc"
+
+    def decompress(self, data: bytes) -> Trajectory:
+        """Decode any supported container into an in-memory trajectory."""
+        kind = self.sniff(data)
+        if kind == "xtc":
+            return decode_xtc(data)
+        if kind == "dcd":
+            return decode_dcd(data)
+        if kind == "trr":
+            trajectory, _velocities = decode_trr(data)
+            return trajectory
+        return decode_raw(data)
+
+    def frame_count(self, data: bytes) -> int:
+        """Frames in a compressed stream without inflating payloads."""
+        if self.sniff(data) == "xtc":
+            return count_frames(data)
+        return self.decompress(data).nframes
+
+    def raw_nbytes(self, data: bytes) -> int:
+        """Decompressed payload size (headers only for xtc)."""
+        if self.sniff(data) == "xtc":
+            return sum(info.raw_nbytes for info in iter_frame_infos(data))
+        return self.decompress(data).nbytes

@@ -1,0 +1,83 @@
+"""The I/O determinator (paper §3.3): indexer + dispatcher + retriever.
+
+"The core idea of the I/O determinator is to provide a way to judiciously
+manage the I/O load of an application in storage nodes."  It is the
+primary storage interface of ADA: writes go through the dispatcher to
+policy-chosen backends; tag-selective reads resolve through the indexer
+and stream through the retriever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.core.dispatcher import IODispatcher
+from repro.core.indexer import Indexer
+from repro.core.retriever import IORetriever
+from repro.core.tags import PlacementPolicy
+from repro.fs.base import StoredObject
+from repro.fs.plfs import PLFS
+from repro.sim import Simulator
+
+__all__ = ["IODeterminator"]
+
+
+class IODeterminator:
+    """ADA's storage interface, composed per Fig. 5."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plfs: PLFS,
+        placement: PlacementPolicy,
+        indexer_latency_s: float = 2e-3,
+        retriever_request_size: Optional[int] = None,
+        spill_on_full: bool = True,
+    ):
+        self.sim = sim
+        self.plfs = plfs
+        self.indexer = Indexer(sim, plfs, lookup_latency_s=indexer_latency_s)
+        self.dispatcher = IODispatcher(
+            sim, plfs, placement, spill_on_full=spill_on_full
+        )
+        kwargs = {}
+        if retriever_request_size is not None:
+            kwargs["request_size"] = retriever_request_size
+        self.retriever = IORetriever(sim, plfs, **kwargs)
+
+    # -- write path ---------------------------------------------------------
+
+    def store(self, logical: str, subsets: Dict[str, bytes]) -> Generator:
+        """Process: dispatch materialized subsets to their backends."""
+        records = yield from self.dispatcher.dispatch(logical, subsets)
+        return records
+
+    def store_virtual(self, logical: str, subset_sizes: Dict[str, int]) -> Generator:
+        """Process: dispatch size-only subsets (modeled mode)."""
+        records = yield from self.dispatcher.dispatch_virtual(logical, subset_sizes)
+        return records
+
+    # -- read path -----------------------------------------------------------
+
+    def fetch(self, logical: str, tag: str) -> Generator:
+        """Process: indexer lookup, then subset retrieval."""
+        yield from self.indexer.lookup(logical, tag)
+        obj: StoredObject = yield from self.retriever.retrieve(logical, tag)
+        return obj
+
+    def fetch_all(self, logical: str) -> Generator:
+        """Process: retrieve every subset of a container concurrently."""
+        yield from self.indexer.lookup_all(logical)
+        objs = yield from self.retriever.retrieve_all(logical)
+        return objs
+
+    # -- metadata ---------------------------------------------------------------
+
+    def tags(self, logical: str) -> list:
+        return self.plfs.tags(logical)
+
+    def subset_nbytes(self, logical: str, tag: str) -> int:
+        return self.plfs.subset_nbytes(logical, tag)
+
+    def container_nbytes(self, logical: str) -> int:
+        return self.plfs.container_nbytes(logical)

@@ -1,0 +1,160 @@
+"""Generic application support: ADA beyond VMD.
+
+"Although ADA is built for VMD, its framework can be extended to support
+other computational science applications ... As long as an application can
+provide the structure of its raw data in a file format, ADA can acquire an
+understanding of this structure through analyzing the structure file"
+(paper §1); §3.1 sketches the canonical case -- "a scientific raw dataset
+representing different levels of precision will be divided into a few
+groups".
+
+This module is that extension.  A :class:`RecordStructure` is the
+structure file: an ordered list of fixed-size fields per record, each
+carrying a tag.  :class:`GenericPreProcessor` splits a binary table of
+such records column-group-wise into per-tag subsets (a tag-tiered column
+store), and reassembles records from any subset combination.  The
+determinator/dispatcher/retriever machinery is reused unchanged -- only
+the categorizer is application-specific, exactly as Fig. 4 promises.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+
+__all__ = ["FieldSpec", "RecordStructure", "GenericPreProcessor"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a record: name, numpy dtype string, and its tag."""
+
+    name: str
+    dtype: str
+    tag: str
+
+    def __post_init__(self) -> None:
+        try:
+            np.dtype(self.dtype)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad dtype {self.dtype!r}") from exc
+        if not self.name or not self.tag:
+            raise ConfigurationError("field name and tag must be non-empty")
+
+    @property
+    def itemsize(self) -> int:
+        return int(np.dtype(self.dtype).itemsize)
+
+
+class RecordStructure:
+    """An application's structure file: ordered fields with tags."""
+
+    def __init__(self, fields: Sequence[FieldSpec]):
+        if not fields:
+            raise ConfigurationError("a record needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate field names in {names}")
+        self.fields = list(fields)
+
+    @property
+    def record_nbytes(self) -> int:
+        return sum(f.itemsize for f in self.fields)
+
+    @property
+    def tags(self) -> List[str]:
+        return sorted({f.tag for f in self.fields})
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype([(f.name, f.dtype) for f in self.fields])
+
+    def fields_for(self, tag: str) -> List[FieldSpec]:
+        out = [f for f in self.fields if f.tag == tag]
+        if not out:
+            raise ConfigurationError(
+                f"no fields tagged {tag!r} (have {self.tags})"
+            )
+        return out
+
+    def tag_fraction(self, tag: str) -> float:
+        """Byte share of one tag per record."""
+        return sum(f.itemsize for f in self.fields_for(tag)) / self.record_nbytes
+
+    # -- the structure file itself ------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        payload = [
+            {"name": f.name, "dtype": f.dtype, "tag": f.tag} for f in self.fields
+        ]
+        return json.dumps(payload, sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RecordStructure":
+        try:
+            payload = json.loads(blob)
+            return cls([FieldSpec(**entry) for entry in payload])
+        except (ValueError, TypeError) as exc:
+            raise ConfigurationError(f"corrupt structure file: {exc}") from exc
+
+
+class GenericPreProcessor:
+    """Splits binary record tables by tag -- the generic categorizer."""
+
+    def __init__(self, structure: RecordStructure):
+        self.structure = structure
+
+    def split(self, table: bytes) -> Dict[str, bytes]:
+        """Divide a record table into per-tag column-group subsets."""
+        dtype = self.structure.numpy_dtype()
+        if len(table) % dtype.itemsize:
+            raise TopologyError(
+                f"table size {len(table)} is not a whole number of "
+                f"{dtype.itemsize}-byte records"
+            )
+        records = np.frombuffer(table, dtype=dtype)
+        out: Dict[str, bytes] = {}
+        for tag in self.structure.tags:
+            names = [f.name for f in self.structure.fields_for(tag)]
+            sub_dtype = np.dtype(
+                [(f.name, f.dtype) for f in self.structure.fields_for(tag)]
+            )
+            sub = np.empty(records.shape[0], dtype=sub_dtype)
+            for name in names:
+                sub[name] = records[name]
+            out[tag] = sub.tobytes()
+        return out
+
+    def merge(self, subsets: Dict[str, bytes]) -> bytes:
+        """Reassemble full records from every tag's subset."""
+        dtype = self.structure.numpy_dtype()
+        columns: Dict[str, np.ndarray] = {}
+        nrecords = None
+        for tag in self.structure.tags:
+            if tag not in subsets:
+                raise TopologyError(f"merge is missing subset {tag!r}")
+            sub_dtype = np.dtype(
+                [(f.name, f.dtype) for f in self.structure.fields_for(tag)]
+            )
+            sub = np.frombuffer(subsets[tag], dtype=sub_dtype)
+            if nrecords is None:
+                nrecords = sub.shape[0]
+            elif sub.shape[0] != nrecords:
+                raise TopologyError("subset record counts disagree")
+            for name in sub.dtype.names:
+                columns[name] = sub[name]
+        full = np.empty(nrecords, dtype=dtype)
+        for name in dtype.names:
+            full[name] = columns[name]
+        return full.tobytes()
+
+    def project(self, subset: bytes, tag: str) -> np.ndarray:
+        """View one tag's subset as a structured numpy array."""
+        sub_dtype = np.dtype(
+            [(f.name, f.dtype) for f in self.structure.fields_for(tag)]
+        )
+        return np.frombuffer(subset, dtype=sub_dtype)

@@ -1,0 +1,197 @@
+"""Tag and placement policies.
+
+The paper's prototype uses two tags: ``p`` (protein, active) and ``m``
+(MISC, inactive), with ``p`` placed on the SSD-backed file system and ``m``
+on the HDD-backed one (§3.4).  Its stated future work -- "a dynamic data
+categorizing and labeling interface through which a user can describe the
+structure of his raw data in a configuration file" -- is implemented here:
+:meth:`TagPolicy.from_config` builds a policy from a declarative mapping of
+residue names and/or atom classes to tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.formats.topology import AtomClass, Topology, classify_residue
+
+__all__ = ["TagPolicy", "SelectionTagPolicy", "PlacementPolicy"]
+
+#: Canonical single-letter tags per class for the fine-grained policy.
+CLASS_TAGS: Dict[AtomClass, str] = {
+    AtomClass.PROTEIN: "p",
+    AtomClass.WATER: "w",
+    AtomClass.LIPID: "l",
+    AtomClass.ION: "i",
+    AtomClass.LIGAND: "g",
+    AtomClass.OTHER: "o",
+}
+
+
+@dataclass(frozen=True)
+class TagPolicy:
+    """Maps atoms to subset tags.
+
+    ``class_tags`` assigns a tag per :class:`AtomClass`;
+    ``resname_tags`` (optional) overrides by residue name, letting a
+    scientist pull, say, cholesterol out of the lipid pool.
+    """
+
+    name: str
+    class_tags: Mapping[AtomClass, str]
+    resname_tags: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [c for c in AtomClass if c not in self.class_tags]
+        if missing:
+            raise ConfigurationError(
+                f"policy {self.name!r} misses classes {missing}"
+            )
+        for tag in list(self.class_tags.values()) + list(self.resname_tags.values()):
+            if not tag or "/" in tag or "." in tag:
+                raise ConfigurationError(f"invalid tag {tag!r}")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def protein_vs_misc(cls) -> "TagPolicy":
+        """The paper's prototype policy: ``p`` for protein, ``m`` for MISC."""
+        tags = {c: "m" for c in AtomClass}
+        tags[AtomClass.PROTEIN] = "p"
+        return cls(name="protein-vs-misc", class_tags=tags)
+
+    @classmethod
+    def per_class(cls) -> "TagPolicy":
+        """One tag per molecular class (the fine-grained-view extension)."""
+        return cls(name="per-class", class_tags=dict(CLASS_TAGS))
+
+    @classmethod
+    def from_config(cls, config: Mapping) -> "TagPolicy":
+        """Build a policy from a declarative configuration mapping.
+
+        Expected shape::
+
+            {"name": "my-policy",
+             "classes": {"protein": "p", "water": "m", ...},   # optional
+             "residues": {"CHL1": "c", ...},                   # optional
+             "default": "m"}
+        """
+        default = config.get("default", "m")
+        class_tags = {c: default for c in AtomClass}
+        for key, tag in (config.get("classes") or {}).items():
+            try:
+                class_tags[AtomClass[key.upper()]] = tag
+            except KeyError as exc:
+                raise ConfigurationError(f"unknown atom class {key!r}") from exc
+        resname_tags = {
+            name.strip().upper(): tag
+            for name, tag in (config.get("residues") or {}).items()
+        }
+        return cls(
+            name=config.get("name", "custom"),
+            class_tags=class_tags,
+            resname_tags=resname_tags,
+        )
+
+    # -- application ----------------------------------------------------------
+
+    def tag_of_class(self, atom_class: AtomClass) -> str:
+        return self.class_tags[atom_class]
+
+    def tag_of_residue(self, resname: str) -> str:
+        override = self.resname_tags.get(resname.strip().upper())
+        if override is not None:
+            return override
+        return self.class_tags[classify_residue(resname)]
+
+    def atom_tags(self, topology: Topology) -> np.ndarray:
+        """Per-atom tag array (vectorized over unique residue names)."""
+        unique, inverse = np.unique(topology.resnames, return_inverse=True)
+        lut = np.array([self.tag_of_residue(r) for r in unique], dtype="U8")
+        return lut[inverse]
+
+    def all_tags(self) -> FrozenSet[str]:
+        return frozenset(self.class_tags.values()) | frozenset(
+            self.resname_tags.values()
+        )
+
+
+class SelectionTagPolicy:
+    """Tags driven by VMD selection expressions (ordered, first match wins).
+
+    The richest form of the paper's future-work interface: a scientist
+    describes subsets in the language they already use daily::
+
+        SelectionTagPolicy("binding-study", [
+            ("hot",  "protein or ligand"),
+            ("ions", "ion"),
+            ("cold", "all"),
+        ])
+
+    Duck-types :class:`TagPolicy` where the categorizer/labeler need it
+    (``atom_tags`` / ``all_tags``); the final rule should cover ``all`` so
+    every atom lands somewhere (validated at categorization time).
+    """
+
+    def __init__(self, name: str, rules):
+        if not rules:
+            raise ConfigurationError("selection policy needs at least one rule")
+        self.name = name
+        self.rules = [(str(tag), str(expr)) for tag, expr in rules]
+        for tag, _ in self.rules:
+            if not tag or "/" in tag or "." in tag:
+                raise ConfigurationError(f"invalid tag {tag!r}")
+
+    def atom_tags(self, topology: Topology) -> np.ndarray:
+        from repro.vmd.selection import select_mask  # lazy: avoids cycle
+
+        tags = np.full(topology.natoms, "", dtype="U8")
+        unassigned = np.ones(topology.natoms, dtype=bool)
+        for tag, expression in self.rules:
+            mask = select_mask(topology, expression) & unassigned
+            tags[mask] = tag
+            unassigned &= ~mask
+        if unassigned.any():
+            raise ConfigurationError(
+                f"policy {self.name!r} leaves {int(unassigned.sum())} atoms "
+                "untagged; end with a catch-all rule like ('cold', 'all')"
+            )
+        return tags
+
+    def all_tags(self) -> FrozenSet[str]:
+        return frozenset(tag for tag, _ in self.rules)
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Chooses a backend file system per tag (the dispatcher's routing).
+
+    The paper's rule: active tags go to flash, everything else to rotation.
+    """
+
+    active_tags: FrozenSet[str]
+    active_backend: str
+    inactive_backend: str
+    overrides: Mapping[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def paper_default(
+        cls, active_backend: str = "ssd", inactive_backend: str = "hdd"
+    ) -> "PlacementPolicy":
+        return cls(
+            active_tags=frozenset({"p"}),
+            active_backend=active_backend,
+            inactive_backend=inactive_backend,
+        )
+
+    def backend_for(self, tag: str) -> str:
+        override = self.overrides.get(tag)
+        if override is not None:
+            return override
+        if tag in self.active_tags:
+            return self.active_backend
+        return self.inactive_backend

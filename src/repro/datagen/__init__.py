@@ -1,0 +1,25 @@
+"""Synthetic GPCR-like molecular systems and trajectories.
+
+The paper evaluates ADA on production CB1/GPCR trajectories [Hua et al.
+2016] that are not redistributable.  This package builds synthetic systems
+with the same *structural statistics* -- a membrane protein surrounded by a
+lipid bilayer, water, and ions, with a protein atom fraction in the 42-49 %
+band of Table 1 -- so ADA's categorizer, labeler, and dispatcher exercise
+the identical code paths they would on the real data.
+"""
+
+from repro.datagen.protein import generate_protein
+from repro.datagen.membrane import generate_membrane
+from repro.datagen.solvent import generate_ions, generate_water
+from repro.datagen.system import MolecularSystem, build_gpcr_system
+from repro.datagen.motion import generate_trajectory
+
+__all__ = [
+    "MolecularSystem",
+    "build_gpcr_system",
+    "generate_ions",
+    "generate_membrane",
+    "generate_protein",
+    "generate_trajectory",
+    "generate_water",
+]

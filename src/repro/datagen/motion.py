@@ -1,0 +1,78 @@
+"""Trajectory generation: Ornstein-Uhlenbeck dynamics around a reference.
+
+Each atom wiggles around its reference position with a class-dependent
+amplitude -- protein atoms are constrained by their fold, water diffuses
+freely.  An OU process (mean-reverting random walk) keeps coordinates
+bounded over arbitrarily many frames while producing the small
+frame-to-frame and atom-to-atom deltas that give real ``.xtc`` files their
+~3x compressibility.
+
+The generator is fully vectorized over atoms; the frame loop carries only
+the OU recursion state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datagen.system import MolecularSystem
+from repro.errors import TopologyError
+from repro.formats.topology import AtomClass
+from repro.formats.trajectory import Trajectory
+
+__all__ = ["generate_trajectory", "CLASS_AMPLITUDE"]
+
+#: RMS positional fluctuation (Angstrom) per class.
+CLASS_AMPLITUDE: Dict[AtomClass, float] = {
+    AtomClass.PROTEIN: 0.8,
+    AtomClass.WATER: 2.4,
+    AtomClass.LIPID: 1.6,
+    AtomClass.ION: 2.0,
+    AtomClass.LIGAND: 1.0,
+    AtomClass.OTHER: 1.5,
+}
+
+_REVERSION = 0.05  # OU mean-reversion rate per frame
+
+
+def generate_trajectory(
+    system: MolecularSystem,
+    nframes: int,
+    seed: Optional[int] = None,
+    dt_ps: float = 10.0,
+    box_edge: Optional[float] = None,
+) -> Trajectory:
+    """Simulate ``nframes`` OU frames around ``system.coords``.
+
+    The returned trajectory's steps/times follow a fixed ``dt_ps`` output
+    stride, like an MD engine writing every N steps.
+    """
+    if nframes < 1:
+        raise TopologyError("need at least one frame")
+    rng = np.random.default_rng(system.seed if seed is None else seed)
+    natoms = system.natoms
+
+    sigma = np.empty(natoms, dtype=np.float64)
+    for cls, amp in CLASS_AMPLITUDE.items():
+        sigma[system.topology.class_mask(cls)] = amp
+    # Per-step noise scale that yields the stationary RMS amplitude above.
+    step_scale = (sigma * np.sqrt(2.0 * _REVERSION))[:, None]
+
+    ref = system.coords.astype(np.float64)
+    displacement = np.zeros((natoms, 3))
+    frames = np.empty((nframes, natoms, 3), dtype=np.float32)
+    for f in range(nframes):
+        noise = rng.standard_normal((natoms, 3))
+        displacement += -_REVERSION * displacement + step_scale * noise
+        frames[f] = ref + displacement
+
+    if box_edge is None:
+        span = np.ptp(system.coords, axis=0).max()
+        box_edge = float(span) + 10.0
+    box = np.diag([box_edge] * 3).astype(np.float32)
+
+    steps = np.arange(nframes, dtype=np.int64) * 5000
+    times = np.arange(nframes, dtype=np.float64) * dt_ps
+    return Trajectory(coords=frames, steps=steps, times_ps=times, box=box)

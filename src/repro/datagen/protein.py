@@ -1,0 +1,100 @@
+"""Synthetic protein generator.
+
+Builds a polypeptide with a self-avoiding-ish random-walk backbone (CA-CA
+step ~3.8 A confined to a globular envelope, the shape of a folded GPCR
+bundle) and per-residue sidechain atoms drawn from simplified amino-acid
+templates.  The average of ~8 atoms per residue matches heavy-atom counts of
+real force fields, so byte-volume fractions come out realistic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.formats.topology import Topology
+
+__all__ = ["generate_protein", "SIDECHAINS"]
+
+#: Heavy-atom sidechain names per residue type (simplified but realistic
+#: counts: GLY has none, TRP has ten).
+SIDECHAINS = {
+    "GLY": [],
+    "ALA": ["CB"],
+    "SER": ["CB", "OG"],
+    "CYS": ["CB", "SG"],
+    "THR": ["CB", "OG1", "CG2"],
+    "VAL": ["CB", "CG1", "CG2"],
+    "PRO": ["CB", "CG", "CD"],
+    "LEU": ["CB", "CG", "CD1", "CD2"],
+    "ILE": ["CB", "CG1", "CG2", "CD1"],
+    "ASN": ["CB", "CG", "OD1", "ND2"],
+    "ASP": ["CB", "CG", "OD1", "OD2"],
+    "MET": ["CB", "CG", "SD", "CE"],
+    "GLN": ["CB", "CG", "CD", "OE1", "NE2"],
+    "GLU": ["CB", "CG", "CD", "OE1", "OE2"],
+    "LYS": ["CB", "CG", "CD", "CE", "NZ"],
+    "HIS": ["CB", "CG", "ND1", "CD2", "CE1", "NE2"],
+    "PHE": ["CB", "CG", "CD1", "CD2", "CE1", "CE2", "CZ"],
+    "ARG": ["CB", "CG", "CD", "NE", "CZ", "NH1", "NH2"],
+    "TYR": ["CB", "CG", "CD1", "CD2", "CE1", "CE2", "CZ", "OH"],
+    "TRP": ["CB", "CG", "CD1", "CD2", "NE1", "CE2", "CE3", "CZ2", "CZ3", "CH2"],
+}
+
+_BACKBONE = ["N", "CA", "C", "O"]
+_CA_STEP = 3.8  # Angstrom
+
+
+def generate_protein(
+    n_residues: int,
+    seed: int = 0,
+    chain: str = "A",
+    radius: float = None,
+) -> Tuple[Topology, np.ndarray]:
+    """Generate ``(topology, coords)`` for one synthetic protein chain.
+
+    ``radius`` bounds the globular envelope; defaults to a density-derived
+    value so larger proteins stay compact rather than becoming long snakes.
+    """
+    if n_residues < 1:
+        raise TopologyError("a protein needs at least one residue")
+    rng = np.random.default_rng(seed)
+    if radius is None:
+        # Empirical globular protein scaling: R ~ 3 * N^(1/3) Angstrom.
+        radius = 3.0 * max(n_residues, 8) ** (1.0 / 3.0)
+
+    restypes = rng.choice(list(SIDECHAINS.keys()), size=n_residues)
+
+    # Backbone CA random walk, reflected at the envelope boundary.
+    ca = np.zeros((n_residues, 3))
+    pos = np.zeros(3)
+    steps = rng.normal(size=(n_residues, 3))
+    steps *= _CA_STEP / np.linalg.norm(steps, axis=1, keepdims=True)
+    for i in range(n_residues):
+        cand = pos + steps[i]
+        if np.linalg.norm(cand) > radius:
+            cand = pos - steps[i]  # reflect back inward
+        ca[i] = pos = cand
+
+    names: List[str] = []
+    resnames: List[str] = []
+    resids: List[int] = []
+    coord_rows: List[np.ndarray] = []
+    for i, restype in enumerate(restypes):
+        atoms = _BACKBONE + SIDECHAINS[restype]
+        jitter = rng.normal(scale=0.8, size=(len(atoms), 3))
+        offsets = jitter + np.linspace(0, 1.4, len(atoms))[:, None]
+        names.extend(atoms)
+        resnames.extend([restype] * len(atoms))
+        resids.extend([i + 1] * len(atoms))
+        coord_rows.append(ca[i] + offsets)
+
+    topo = Topology(
+        names=names,
+        resnames=resnames,
+        resids=resids,
+        chains=[chain] * len(names),
+    )
+    return topo, np.concatenate(coord_rows).astype(np.float32)

@@ -1,0 +1,98 @@
+"""Solvent generators: TIP3-like water boxes and counter-ions.
+
+Water dominates MD system volume; the paper's MISC (inactive) data is
+mostly the "liquid that surrounds the protein" (Fig. 1c).  Waters are
+placed on a jittered cubic lattice at liquid density (one molecule per
+~30 A^3); ions are substituted onto random water sites.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.formats.topology import Topology
+
+__all__ = ["generate_water", "generate_ions", "ATOMS_PER_WATER"]
+
+ATOMS_PER_WATER = 3
+_WATER_ATOMS = ["OH2", "H1", "H2"]
+_VOLUME_PER_WATER = 30.0  # Angstrom^3 at ~1 g/cc
+
+#: Internal geometry of one water (O at origin, H at ~0.96 A).
+_WATER_TEMPLATE = np.array(
+    [[0.0, 0.0, 0.0], [0.96, 0.0, 0.0], [-0.24, 0.93, 0.0]], dtype=np.float64
+)
+
+
+def generate_water(
+    n_waters: int,
+    seed: int = 0,
+    resid_start: int = 1,
+    z_exclusion: float = 0.0,
+) -> Tuple[Topology, np.ndarray]:
+    """Generate ``(topology, coords)`` for ``n_waters`` TIP3 molecules.
+
+    ``z_exclusion`` keeps the slab ``|z| < z_exclusion`` empty so water does
+    not overlap a membrane placed at the midplane.
+    """
+    if n_waters < 1:
+        raise TopologyError("need at least one water molecule")
+    rng = np.random.default_rng(seed)
+
+    pitch = _VOLUME_PER_WATER ** (1.0 / 3.0)
+    side = int(np.ceil(n_waters ** (1.0 / 3.0))) + 2
+    grid = (np.arange(side) - side / 2.0) * pitch
+    gx, gy, gz = np.meshgrid(grid, grid, grid)
+    sites = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+    if z_exclusion > 0:
+        shift = z_exclusion + pitch
+        sites[:, 2] = np.where(
+            sites[:, 2] >= 0, sites[:, 2] + shift, sites[:, 2] - shift
+        )
+    # Keep lattice order (solvation tools emit waters scanline by scanline);
+    # the spatial coherence keeps inter-molecule deltas small for the codec.
+    sites = sites[:n_waters]
+    sites += rng.normal(scale=0.3, size=sites.shape)
+
+    # Vectorized assembly: (n_waters, 3 atoms, 3 xyz).
+    coords = sites[:, None, :] + _WATER_TEMPLATE[None, :, :]
+    names = _WATER_ATOMS * n_waters
+    resnames = ["TIP3"] * (ATOMS_PER_WATER * n_waters)
+    resids = np.repeat(np.arange(n_waters) + resid_start, ATOMS_PER_WATER)
+
+    topo = Topology(
+        names=names,
+        resnames=resnames,
+        resids=resids,
+        chains=["W"] * len(names),
+    )
+    return topo, coords.reshape(-1, 3).astype(np.float32)
+
+
+def generate_ions(
+    n_ions: int,
+    seed: int = 0,
+    resid_start: int = 1,
+    box_half: float = 40.0,
+) -> Tuple[Topology, np.ndarray]:
+    """Generate ``(topology, coords)`` for alternating SOD/CLA counter-ions."""
+    if n_ions < 1:
+        raise TopologyError("need at least one ion")
+    rng = np.random.default_rng(seed)
+    names: List[str] = []
+    resnames: List[str] = []
+    for i in range(n_ions):
+        kind = "SOD" if i % 2 == 0 else "CLA"
+        names.append(kind)
+        resnames.append(kind)
+    coords = rng.uniform(-box_half, box_half, size=(n_ions, 3))
+    topo = Topology(
+        names=names,
+        resnames=resnames,
+        resids=np.arange(n_ions) + resid_start,
+        chains=["I"] * n_ions,
+    )
+    return topo, coords.astype(np.float32)

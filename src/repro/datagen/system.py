@@ -1,0 +1,120 @@
+"""Full-system assembly: protein + membrane + solvent + ions.
+
+:func:`build_gpcr_system` sizes the non-protein components so the protein
+atom fraction lands on a requested target (the paper's Table 1 shows
+43.5-49 % across its three trajectory files).  Components are laid out in
+contiguous blocks -- protein, ligand, lipids, water, ions -- the ordering
+real structure-preparation tools (CHARMM-GUI, gmx pdb2gmx) emit, which is
+what makes Algorithm 1's run-length labeling effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datagen.membrane import ATOMS_PER_LIPID, generate_membrane
+from repro.datagen.protein import generate_protein
+from repro.datagen.solvent import ATOMS_PER_WATER, generate_ions, generate_water
+from repro.errors import TopologyError
+from repro.formats.topology import AtomClass, Topology
+
+__all__ = ["MolecularSystem", "build_gpcr_system"]
+
+#: Average heavy atoms per synthetic residue (backbone 4 + mean sidechain).
+_ATOMS_PER_RESIDUE = 8.6
+
+
+@dataclass
+class MolecularSystem:
+    """A topology + reference coordinates, ready for trajectory generation."""
+
+    topology: Topology
+    coords: np.ndarray  # (natoms, 3) float32
+    seed: int = 0
+
+    @property
+    def natoms(self) -> int:
+        return self.topology.natoms
+
+    def protein_fraction(self) -> float:
+        return self.topology.protein_fraction()
+
+    def class_counts(self) -> Dict[AtomClass, int]:
+        return self.topology.counts_by_class()
+
+
+def build_gpcr_system(
+    natoms_target: int = 4000,
+    protein_fraction: float = 0.425,
+    seed: int = 0,
+    n_chains: int = 1,
+    ion_fraction: float = 0.004,
+    interleave_ligand: bool = False,
+) -> MolecularSystem:
+    """Build a GPCR-in-membrane system of roughly ``natoms_target`` atoms.
+
+    ``protein_fraction`` steers the active-data share (paper band: 0.43 to
+    0.49).  Remaining atoms split ~45 % lipid / ~55 % water by MD convention,
+    with a sprinkle of ions.  ``interleave_ligand`` inserts a small ligand
+    block between protein chains to exercise multi-run labeling.
+
+    The realized fraction lands within ~2 % of the request (component sizes
+    are integral numbers of residues/lipids/waters).
+    """
+    if natoms_target < 200:
+        raise TopologyError("natoms_target too small for a membrane system")
+    if not 0.05 <= protein_fraction <= 0.95:
+        raise TopologyError(f"unreasonable protein fraction {protein_fraction}")
+
+    n_protein_atoms = int(round(natoms_target * protein_fraction))
+    n_misc_atoms = natoms_target - n_protein_atoms
+    n_ions = max(2, int(round(natoms_target * ion_fraction)))
+    n_lipid_atoms = int(round((n_misc_atoms - n_ions) * 0.45))
+    n_lipids = max(1, n_lipid_atoms // ATOMS_PER_LIPID)
+    n_water_atoms = n_misc_atoms - n_ions - n_lipids * ATOMS_PER_LIPID
+    n_waters = max(1, n_water_atoms // ATOMS_PER_WATER)
+
+    parts: List[Tuple[Topology, np.ndarray]] = []
+
+    residues_per_chain = max(
+        1, int(round(n_protein_atoms / _ATOMS_PER_RESIDUE / n_chains))
+    )
+    for c in range(n_chains):
+        chain_id = chr(ord("A") + c)
+        parts.append(
+            generate_protein(residues_per_chain, seed=seed + 11 * c, chain=chain_id)
+        )
+        if interleave_ligand and c < n_chains - 1:
+            parts.append(_ligand_block(seed=seed + 101 + c, resid_start=9000 + c))
+
+    if not interleave_ligand:
+        parts.append(_ligand_block(seed=seed + 100, resid_start=9000))
+    parts.append(
+        generate_membrane(
+            n_lipids, seed=seed + 1, exclusion_radius=12.0, resid_start=1
+        )
+    )
+    parts.append(generate_water(n_waters, seed=seed + 2, z_exclusion=26.0))
+    parts.append(generate_ions(n_ions, seed=seed + 3))
+
+    topology = Topology.concatenate([p[0] for p in parts])
+    coords = np.concatenate([p[1] for p in parts]).astype(np.float32)
+    return MolecularSystem(topology=topology, coords=coords, seed=seed)
+
+
+def _ligand_block(seed: int, resid_start: int) -> Tuple[Topology, np.ndarray]:
+    """A small bound ligand (~20 heavy atoms) sitting in the binding pocket."""
+    rng = np.random.default_rng(seed)
+    n = 20
+    names = [f"C{i+1}" for i in range(n - 4)] + ["N1", "N2", "O1", "O2"]
+    topo = Topology(
+        names=names,
+        resnames=["LIG"] * n,
+        resids=[resid_start] * n,
+        chains=["L"] * n,
+    )
+    coords = rng.normal(scale=2.0, size=(n, 3)).astype(np.float32)
+    return topo, coords

@@ -1,0 +1,187 @@
+"""Minimal fixed-column PDB reader/writer.
+
+ADA's data pre-processor learns a dataset's structure by analyzing its
+``.pdb`` file (paper §3.4 / Algorithm 1).  This module implements the subset
+of the PDB format that carries that structure: ``ATOM``/``HETATM`` records
+with names, residues, chains, and coordinates, plus ``TER``/``END``.
+
+Column layout follows the wwPDB v3.3 specification for ATOM records::
+
+    COLUMNS  FIELD          COLUMNS  FIELD
+     1-6     record name    31-38    x (8.3f)
+     7-11    serial         39-46    y (8.3f)
+    13-16    atom name      47-54    z (8.3f)
+    18-20    residue name   55-60    occupancy
+    22       chain id       61-66    temp factor
+    23-26    residue seq    77-78    element
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.formats.topology import AtomClass, Topology, classify_residue
+
+__all__ = ["parse_pdb", "write_pdb"]
+
+_RECORD_ATOM = "ATOM"
+_RECORD_HETATM = "HETATM"
+
+
+def write_pdb(topology: Topology, coords: Optional[np.ndarray] = None) -> str:
+    """Serialize a topology (and optional coordinates) to PDB text.
+
+    ``coords`` is ``(natoms, 3)`` in Angstroms; zeros are written when absent.
+    Atom serials wrap at 99,999 as real PDB files do.
+    """
+    n = topology.natoms
+    if coords is None:
+        coords = np.zeros((n, 3), dtype=np.float32)
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (n, 3):
+        raise TopologyError(f"coords shape {coords.shape} != ({n}, 3)")
+
+    lines = []
+    is_het = topology.classes != int(AtomClass.PROTEIN)
+    for i in range(n):
+        record = _RECORD_HETATM if is_het[i] else _RECORD_ATOM
+        serial = (i % 99999) + 1
+        name = topology.names[i]
+        # PDB convention: names of <4 chars start in column 14.
+        name_field = f" {name:<3s}" if len(name) < 4 else f"{name:<4s}"
+        lines.append(
+            f"{record:<6s}{serial:>5d} {name_field:<4.4s} "
+            f"{topology.resnames[i]:<4.4s}"
+            f"{topology.chains[i]:<1.1s}"
+            f"{int(topology.resids[i]) % 10000:>4d}    "
+            f"{coords[i, 0]:8.3f}{coords[i, 1]:8.3f}{coords[i, 2]:8.3f}"
+            f"{1.00:6.2f}{0.00:6.2f}          "
+            f"{topology.elements[i]:>2.2s}"
+        )
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def parse_pdb(text: str) -> Tuple[Topology, np.ndarray]:
+    """Parse PDB text into ``(Topology, coords)``.
+
+    Only ``ATOM``/``HETATM`` records are consumed; for multi-model files
+    parsing stops at the first ``ENDMDL`` (the first conformation defines
+    the structure -- use :func:`parse_pdb_models` for the whole ensemble).
+    Raises :class:`TopologyError` on malformed records or if no atoms are
+    found.
+    """
+    names, resnames, resids, chains, elements = [], [], [], [], []
+    xyz = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        rec = line[:6].strip()
+        if rec == "ENDMDL" and names:
+            break
+        if rec not in (_RECORD_ATOM, _RECORD_HETATM):
+            continue
+        if len(line) < 54:
+            raise TopologyError(f"PDB line {lineno} too short for coordinates")
+        try:
+            names.append(line[12:16].strip())
+            resnames.append(line[17:21].strip())
+            chains.append(line[21:22].strip() or "A")
+            resids.append(int(line[22:26]))
+            xyz.append(
+                (float(line[30:38]), float(line[38:46]), float(line[46:54]))
+            )
+        except ValueError as exc:
+            raise TopologyError(f"malformed PDB line {lineno}: {exc}") from exc
+        element = line[76:78].strip() if len(line) >= 78 else ""
+        elements.append(element or None)
+    if not names:
+        raise TopologyError("no ATOM/HETATM records found")
+    if any(e is None for e in elements):
+        elements = None  # let Topology guess all of them uniformly
+    topo = Topology(
+        names=names,
+        resnames=resnames,
+        resids=resids,
+        chains=chains,
+        elements=elements,
+    )
+    return topo, np.asarray(xyz, dtype=np.float32)
+
+
+def write_pdb_models(topology: Topology, trajectory) -> str:
+    """Serialize a whole trajectory as a multi-model PDB (NMR-style).
+
+    Each frame becomes one ``MODEL``/``ENDMDL`` block -- VMD's other way
+    of carrying several conformations in one file.
+    """
+    if trajectory.natoms != topology.natoms:
+        raise TopologyError(
+            f"trajectory carries {trajectory.natoms} atoms, topology has "
+            f"{topology.natoms}"
+        )
+    blocks = []
+    for i in range(trajectory.nframes):
+        body = write_pdb(topology, trajectory.coords[i])
+        body = body.rsplit("END", 1)[0].rstrip("\n")  # strip the final END
+        blocks.append(f"MODEL     {i + 1:>4d}\n{body}\nENDMDL")
+    return "\n".join(blocks) + "\nEND\n"
+
+
+def parse_pdb_models(text: str):
+    """Parse a multi-model PDB into ``(Topology, Trajectory)``.
+
+    All models must carry the same atoms; single-model files yield a
+    one-frame trajectory.
+    """
+    from repro.formats.trajectory import Trajectory
+
+    blocks = []
+    current: list = []
+    saw_model = False
+    for line in text.splitlines():
+        rec = line[:6].strip()
+        if rec == "MODEL":
+            saw_model = True
+            current = []
+        elif rec == "ENDMDL":
+            blocks.append("\n".join(current))
+            current = []
+        elif rec in (_RECORD_ATOM, _RECORD_HETATM):
+            current.append(line)
+    if not saw_model:
+        topo, coords = parse_pdb(text)
+        return topo, Trajectory(coords=coords[None, :, :])
+    if current:
+        blocks.append("\n".join(current))
+    blocks = [b for b in blocks if b]
+    if not blocks:
+        raise TopologyError("no models found")
+    topo, first = parse_pdb(blocks[0])
+    frames = [first]
+    for i, block in enumerate(blocks[1:], start=2):
+        other, coords = parse_pdb(block)
+        if other != topo:
+            raise TopologyError(f"model {i} has a different structure")
+        frames.append(coords)
+    return topo, Trajectory(coords=np.stack(frames))
+
+
+def pdb_nbytes(topology: Topology) -> int:
+    """Size in bytes of the serialized PDB (81 bytes/record incl. newline)."""
+    return 81 * topology.natoms + 4
+
+
+def classify_pdb_text(text: str) -> dict:
+    """Quick class histogram of a PDB without building a full topology.
+
+    Used by ADA's categorizer fast path when only volume fractions are
+    needed.
+    """
+    counts: dict = {}
+    for line in text.splitlines():
+        if line[:6].strip() in (_RECORD_ATOM, _RECORD_HETATM):
+            cls = classify_residue(line[17:21].strip())
+            counts[cls] = counts.get(cls, 0) + 1
+    return counts

@@ -1,0 +1,482 @@
+"""XTC-like lossy compressed trajectory codec.
+
+GROMACS ``.xtc`` files store coordinates quantized to fixed-point integers
+(default precision 1000 => milli-Angstrom) and entropy-coded.  The essential
+properties the paper relies on are:
+
+1. the file is roughly **3x smaller** than raw float32 frames (Table 2:
+   100 MB compressed vs. 327 MB raw);
+2. **no random access to atoms**: the whole frame must be decompressed
+   before any atom subset can be extracted -- this is the repeated CPU
+   burden ADA removes from compute nodes; and
+3. decompression is **CPU-expensive relative to transfer** from fast
+   storage.
+
+This codec reproduces all three with a transparent pipeline: quantize ->
+delta-code along the atom axis -> zlib.  Each frame is independently
+compressed behind a fixed-size binary header, so a file can be scanned
+frame-by-frame (:func:`iter_frame_infos`) without inflating payloads --
+which is exactly what ADA's storage-side pre-processor does before it
+splits a dataset.
+
+A companion *raw container* format (``RAW_MAGIC``) stores uncompressed
+float32 subsets; it is what ADA writes to its backends after categorizing,
+and what the "D-" scenarios of the paper load.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.formats.trajectory import BYTES_PER_COORD, Trajectory
+
+__all__ = [
+    "XTC_MAGIC",
+    "RAW_MAGIC",
+    "DEFAULT_PRECISION",
+    "XtcFrameInfo",
+    "encode_xtc",
+    "decode_xtc",
+    "iter_frame_infos",
+    "count_frames",
+    "raw_frame_nbytes",
+    "encode_raw",
+    "decode_raw",
+    "raw_container_nbytes",
+]
+
+#: Magic number of real GROMACS XTC files; reused for familiarity.
+XTC_MAGIC = 1995
+#: Magic for the raw (uncompressed float32) subset container.
+RAW_MAGIC = 1996
+#: Fixed-point precision: coordinate * precision rounds to int.  Coordinates
+#: here are in Angstrom, so 100.0 gives 0.01 A resolution -- exactly the
+#: resolution of GROMACS's default xtc-precision of 1000 in nm units.
+DEFAULT_PRECISION = 100.0
+
+# Frame header: magic, natoms, step, time, box[9], precision, flags, payload
+# length.  Flag bit 0 set => P-frame (payload holds temporal deltas against
+# the previous frame); clear => I-frame (intra-frame deltas along the atom
+# axis).  Real XTC compresses every frame independently; we add temporal
+# prediction (as the TNG successor format does) to reach the same ~3x ratio
+# with a byte-oriented entropy stage.
+_HEADER = struct.Struct("<iii f 9f f iI")
+_FLAG_PFRAME = 1
+
+# Payload prologue (inside the deflate stream): block count, value count.
+# Each block then carries its own word width, so a few outlier deltas (5-sigma
+# thermal kicks) don't widen the whole frame -- the same adaptivity real
+# xdr3dfcoord gets from its small/large escape scheme.
+_PAYLOAD_HEAD = struct.Struct("<HI")
+_BLOCK_VALUES = 4096
+_RAW_HEADER = struct.Struct("<iiqif")  # magic, natoms, nframes, reserved, dt
+
+
+@dataclass(frozen=True)
+class XtcFrameInfo:
+    """Location and metadata of one compressed frame inside an XTC stream."""
+
+    index: int
+    offset: int  # byte offset of the frame header
+    header_nbytes: int
+    payload_nbytes: int  # compressed payload size
+    natoms: int
+    step: int
+    time_ps: float
+    flags: int = 0
+
+    @property
+    def is_keyframe(self) -> bool:
+        """True for I-frames (decodable without any earlier frame)."""
+        return not self.flags & _FLAG_PFRAME
+
+    @property
+    def total_nbytes(self) -> int:
+        return self.header_nbytes + self.payload_nbytes
+
+    @property
+    def raw_nbytes(self) -> int:
+        """Decompressed payload size of this frame."""
+        return raw_frame_nbytes(self.natoms)
+
+
+def raw_frame_nbytes(natoms: int) -> int:
+    """Uncompressed payload bytes of one frame (float32 xyz)."""
+    return natoms * BYTES_PER_COORD
+
+
+def _quantize(coords: np.ndarray, precision: float) -> np.ndarray:
+    values = coords.astype(np.float64)
+    if not np.all(np.isfinite(values)):
+        raise CodecError("non-finite coordinates cannot be encoded")
+    ints = np.rint(values * precision)
+    if np.any(np.abs(ints) > np.iinfo(np.int32).max):
+        raise CodecError("coordinates overflow int32 at this precision")
+    return ints.astype(np.int32)
+
+
+def _zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed int64 to unsigned (0,-1,1,-2 -> 0,1,2,3) for bit packing."""
+    v = values.astype(np.int64)
+    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+
+
+def _unzigzag(values: np.ndarray) -> np.ndarray:
+    v = values.astype(np.uint64)
+    half = (v >> np.uint64(1)).astype(np.int64)
+    sign = (v & np.uint64(1)).astype(np.int64)
+    return half ^ -sign
+
+
+def _pack_words(values_u: np.ndarray, nbits: int) -> bytes:
+    """Pack unsigned values into a dense ``nbits``-wide big-endian bitstream.
+
+    This is the moral equivalent of xdr3dfcoord's fixed-width "smallidx"
+    packing: the per-frame word width adapts to the largest delta.
+    """
+    if nbits == 0 or values_u.size == 0:
+        return b""
+    shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+    bits = ((values_u[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.ravel()).tobytes()
+
+
+def _unpack_words(data: bytes, count: int, nbits: int) -> np.ndarray:
+    """Inverse of :func:`_pack_words`."""
+    if nbits == 0 or count == 0:
+        return np.zeros(count, dtype=np.uint64)
+    total_bits = count * nbits
+    bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8), count=total_bits
+    ).astype(np.uint64)
+    weights = np.left_shift(
+        np.uint64(1), np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+    )
+    return bits.reshape(count, nbits) @ weights
+
+
+def _encode_delta_block(deltas: np.ndarray, level: int) -> bytes:
+    """Zigzag + blockwise fixed-width bit-pack + deflate signed deltas."""
+    flat = _zigzag(deltas.ravel())
+    nblocks = (flat.size + _BLOCK_VALUES - 1) // _BLOCK_VALUES
+    widths = bytearray(nblocks)
+    packed: List[bytes] = []
+    for b in range(nblocks):
+        block = flat[b * _BLOCK_VALUES : (b + 1) * _BLOCK_VALUES]
+        nbits = int(block.max()).bit_length() if block.size else 0
+        widths[b] = nbits
+        packed.append(_pack_words(block, nbits))
+    body = _PAYLOAD_HEAD.pack(nblocks, flat.size) + bytes(widths) + b"".join(packed)
+    return zlib.compress(body, level)
+
+
+def _decode_delta_block(payload: bytes, expected_count: int) -> np.ndarray:
+    try:
+        raw = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise CodecError(f"frame payload inflate failed: {exc}") from exc
+    if len(raw) < _PAYLOAD_HEAD.size:
+        raise CodecError("payload shorter than its prologue")
+    nblocks, count = _PAYLOAD_HEAD.unpack_from(raw, 0)
+    if count != expected_count:
+        raise CodecError(f"payload holds {count} values, expected {expected_count}")
+    offset = _PAYLOAD_HEAD.size
+    widths = raw[offset : offset + nblocks]
+    if len(widths) < nblocks:
+        raise CodecError("truncated block-width table")
+    offset += nblocks
+    out = np.empty(count, dtype=np.uint64)
+    for b in range(nblocks):
+        block_count = min(_BLOCK_VALUES, count - b * _BLOCK_VALUES)
+        nbits = widths[b]
+        nbytes = (block_count * nbits + 7) // 8
+        chunk = raw[offset : offset + nbytes]
+        if len(chunk) < nbytes:
+            raise CodecError("truncated packed bitstream")
+        out[b * _BLOCK_VALUES : b * _BLOCK_VALUES + block_count] = _unpack_words(
+            chunk, block_count, nbits
+        )
+        offset += nbytes
+    return _unzigzag(out)
+
+
+def _encode_frame_payload(
+    ints: np.ndarray, prev_ints: Optional[np.ndarray], level: int
+) -> "tuple[int, bytes]":
+    """Encode one quantized frame; returns ``(flags, payload)``.
+
+    I-frames (first frame) store the first atom absolutely plus intra-frame
+    deltas along the atom axis; P-frames store temporal deltas against the
+    previous frame, which are much smaller for equilibrated dynamics.
+    """
+    if prev_ints is None:
+        origin = ints[0:1].astype("<i4").tobytes()
+        deltas = np.diff(ints, axis=0)
+        return 0, origin + _encode_delta_block(deltas, level)
+    deltas = ints.astype(np.int64) - prev_ints.astype(np.int64)
+    return _FLAG_PFRAME, _encode_delta_block(deltas, level)
+
+
+def _decode_frame_payload(
+    payload: bytes,
+    natoms: int,
+    precision: float,
+    flags: int,
+    prev_ints: Optional[np.ndarray],
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Decode one frame; returns ``(coords_float32, quantized_ints)``."""
+    if flags & _FLAG_PFRAME:
+        if prev_ints is None:
+            raise CodecError("P-frame encountered with no reference frame")
+        deltas = _decode_delta_block(payload, natoms * 3).reshape(natoms, 3)
+        ints = prev_ints + deltas
+    else:
+        if len(payload) < 12:
+            raise CodecError("I-frame payload missing origin")
+        origin = np.frombuffer(payload, dtype="<i4", count=3).astype(np.int64)
+        deltas = _decode_delta_block(payload[12:], (natoms - 1) * 3).reshape(
+            natoms - 1, 3
+        )
+        ints = np.empty((natoms, 3), dtype=np.int64)
+        ints[0] = origin
+        np.cumsum(deltas, axis=0, dtype=np.int64, out=ints[1:])
+        ints[1:] += origin
+    return (ints / precision).astype(np.float32), ints
+
+
+def encode_xtc(
+    trajectory: Trajectory,
+    precision: float = DEFAULT_PRECISION,
+    level: int = 6,
+    keyframe_interval: int = 100,
+) -> bytes:
+    """Serialize a trajectory to an XTC-like compressed byte stream.
+
+    ``keyframe_interval`` inserts an independently-decodable I-frame every
+    N frames (video-codec style), bounding how far
+    :func:`decode_frame_range` must rewind for random access.
+    """
+    if precision <= 0:
+        raise CodecError(f"precision must be positive, got {precision}")
+    if keyframe_interval < 1:
+        raise CodecError("keyframe interval must be >= 1")
+    box = (
+        trajectory.box.reshape(9)
+        if trajectory.box is not None
+        else np.zeros(9, dtype=np.float32)
+    )
+    chunks: List[bytes] = []
+    prev_ints: Optional[np.ndarray] = None
+    for i in range(trajectory.nframes):
+        ints = _quantize(trajectory.coords[i], precision)
+        if i % keyframe_interval == 0:
+            prev_ints = None  # force an I-frame
+        flags, payload = _encode_frame_payload(ints, prev_ints, level)
+        prev_ints = ints.astype(np.int64)
+        header = _HEADER.pack(
+            XTC_MAGIC,
+            trajectory.natoms,
+            int(trajectory.steps[i]),
+            float(trajectory.times_ps[i]),
+            *[float(v) for v in box],
+            float(precision),
+            flags,
+            len(payload),
+        )
+        chunks.append(header)
+        chunks.append(payload)
+    return b"".join(chunks)
+
+
+def iter_frame_infos(data: bytes) -> Iterator[XtcFrameInfo]:
+    """Scan frame headers without decompressing payloads."""
+    offset = 0
+    index = 0
+    n = len(data)
+    while offset < n:
+        if offset + _HEADER.size > n:
+            raise CodecError(f"truncated frame header at offset {offset}")
+        fields = _HEADER.unpack_from(data, offset)
+        magic, natoms, step, time_ps = fields[0], fields[1], fields[2], fields[3]
+        payload_nbytes = fields[-1]
+        if magic != XTC_MAGIC:
+            raise CodecError(f"bad magic {magic} at offset {offset}")
+        if natoms <= 0:
+            raise CodecError(f"non-positive atom count {natoms} in frame {index}")
+        if offset + _HEADER.size + payload_nbytes > n:
+            raise CodecError(f"truncated frame payload in frame {index}")
+        yield XtcFrameInfo(
+            index=index,
+            offset=offset,
+            header_nbytes=_HEADER.size,
+            payload_nbytes=payload_nbytes,
+            natoms=natoms,
+            step=step,
+            time_ps=time_ps,
+            flags=fields[14],
+        )
+        offset += _HEADER.size + payload_nbytes
+        index += 1
+
+
+def count_frames(data: bytes) -> int:
+    """Number of frames in an XTC stream (header scan only)."""
+    return sum(1 for _ in iter_frame_infos(data))
+
+
+def decode_xtc(
+    data: bytes, atom_indices: Optional[np.ndarray] = None
+) -> Trajectory:
+    """Decompress an XTC stream into a :class:`Trajectory`.
+
+    ``atom_indices`` selects an atom subset *after* decompression -- the
+    paper's point is precisely that this selection cannot happen before: the
+    full frame is always inflated.  Passing indices merely avoids keeping the
+    discarded atoms.
+    """
+    coords: List[np.ndarray] = []
+    steps: List[int] = []
+    times: List[float] = []
+    box: Optional[np.ndarray] = None
+    prev_ints: Optional[np.ndarray] = None
+    for info in iter_frame_infos(data):
+        fields = _HEADER.unpack_from(data, info.offset)
+        precision, flags = fields[13], fields[14]
+        if precision <= 0:
+            raise CodecError(f"bad precision {precision} in frame {info.index}")
+        if box is None:
+            box_vals = np.asarray(fields[4:13], dtype=np.float32)
+            box = box_vals.reshape(3, 3) if np.any(box_vals) else None
+        start = info.offset + info.header_nbytes
+        frame, prev_ints = _decode_frame_payload(
+            data[start : start + info.payload_nbytes],
+            info.natoms,
+            precision,
+            flags,
+            prev_ints,
+        )
+        if atom_indices is not None:
+            frame = frame[np.asarray(atom_indices)]
+        coords.append(frame)
+        steps.append(info.step)
+        times.append(info.time_ps)
+    if not coords:
+        raise CodecError("empty XTC stream")
+    return Trajectory(
+        coords=np.stack(coords), steps=steps, times_ps=times, box=box
+    )
+
+
+def decode_frame_range(data: bytes, start: int, stop: int) -> Trajectory:
+    """Decode only frames ``[start, stop)`` of an XTC stream.
+
+    Decoding rewinds to the nearest preceding keyframe (I-frame) and rolls
+    forward -- at most ``keyframe_interval - 1`` extra frames of work, and
+    only the requested frames are materialized.  This is the primitive the
+    streaming playback layer uses to animate trajectories that do not fit
+    in memory.
+    """
+    infos = list(iter_frame_infos(data))
+    nframes = len(infos)
+    if not 0 <= start < stop <= nframes:
+        raise CodecError(
+            f"frame range [{start}, {stop}) outside [0, {nframes})"
+        )
+    anchor = start
+    while anchor > 0 and not infos[anchor].is_keyframe:
+        anchor -= 1
+    if not infos[anchor].is_keyframe:
+        raise CodecError("no keyframe precedes the requested range")
+
+    coords: List[np.ndarray] = []
+    steps: List[int] = []
+    times: List[float] = []
+    prev_ints: Optional[np.ndarray] = None
+    for i in range(anchor, stop):
+        info = infos[i]
+        fields = _HEADER.unpack_from(data, info.offset)
+        precision, flags = fields[13], fields[14]
+        begin = info.offset + info.header_nbytes
+        frame, prev_ints = _decode_frame_payload(
+            data[begin : begin + info.payload_nbytes],
+            info.natoms,
+            precision,
+            flags,
+            prev_ints,
+        )
+        if i >= start:
+            coords.append(frame)
+            steps.append(info.step)
+            times.append(info.time_ps)
+    return Trajectory(coords=np.stack(coords), steps=steps, times_ps=times)
+
+
+# ---------------------------------------------------------------------------
+# Raw (uncompressed) subset container -- what ADA stores on its backends.
+# ---------------------------------------------------------------------------
+
+
+def encode_raw(trajectory: Trajectory) -> bytes:
+    """Serialize a trajectory as uncompressed float32 with a tiny header."""
+    header = _RAW_HEADER.pack(
+        RAW_MAGIC, trajectory.natoms, trajectory.nframes, 0, 0.0
+    )
+    steps = trajectory.steps.astype("<i8").tobytes()
+    times = trajectory.times_ps.astype("<f8").tobytes()
+    payload = np.ascontiguousarray(trajectory.coords, dtype="<f4").tobytes()
+    return header + steps + times + payload
+
+
+def _decode_one_raw(data: bytes, offset: int) -> "tuple[Trajectory, int]":
+    """Decode one raw container starting at ``offset``; returns the
+    trajectory and the offset just past it."""
+    if len(data) - offset < _RAW_HEADER.size:
+        raise CodecError("raw container shorter than its header")
+    magic, natoms, nframes, _, _ = _RAW_HEADER.unpack_from(data, offset)
+    if magic != RAW_MAGIC:
+        raise CodecError(f"bad raw-container magic {magic}")
+    off = offset + _RAW_HEADER.size
+    steps = np.frombuffer(data, dtype="<i8", count=nframes, offset=off)
+    off += nframes * 8
+    times = np.frombuffer(data, dtype="<f8", count=nframes, offset=off)
+    off += nframes * 8
+    payload = nframes * natoms * BYTES_PER_COORD
+    if len(data) - off < payload:
+        raise CodecError(
+            f"raw payload is {len(data) - off} bytes, expected {payload}"
+        )
+    coords = np.frombuffer(data, dtype="<f4", count=nframes * natoms * 3,
+                           offset=off).reshape(nframes, natoms, 3)
+    traj = Trajectory(
+        coords=coords.copy(), steps=steps.copy(), times_ps=times.copy()
+    )
+    return traj, off + payload
+
+
+def decode_raw(data: bytes) -> Trajectory:
+    """Inverse of :func:`encode_raw` (exact round trip, no loss).
+
+    Accepts a *concatenation* of raw containers over the same atom set --
+    the shape of a multi-chunk PLFS subset -- and splices them frame-wise.
+    """
+    parts = []
+    offset = 0
+    while offset < len(data):
+        traj, offset = _decode_one_raw(data, offset)
+        parts.append(traj)
+    if not parts:
+        raise CodecError("empty raw stream")
+    if len(parts) == 1:
+        return parts[0]
+    return Trajectory.concatenate(parts)
+
+
+def raw_container_nbytes(natoms: int, nframes: int) -> int:
+    """Exact serialized size of a raw container with these dimensions."""
+    return _RAW_HEADER.size + nframes * 16 + nframes * natoms * BYTES_PER_COORD

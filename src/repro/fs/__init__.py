@@ -1,0 +1,32 @@
+"""Simulated file systems.
+
+* :mod:`repro.fs.memfs` -- the in-memory object store every FS persists to.
+* :mod:`repro.fs.base` -- the common FS interface (DES-process read/write).
+* :mod:`repro.fs.localfs` -- single-device local FS (the ext4 / XFS stand-in).
+* :mod:`repro.fs.pvfs` -- striped parallel FS over storage nodes (OrangeFS
+  stand-in), with per-request client overhead that penalizes small-request
+  access patterns on wide stripes.
+* :mod:`repro.fs.plfs` -- PLFS-style container layer: one logical file fans
+  out to per-subset data files on multiple backend file systems (Fig. 6).
+"""
+
+from repro.fs.base import FileSystem, StoredObject
+from repro.fs.localfs import LocalFS
+from repro.fs.memfs import ObjectStore
+from repro.fs.plfs import PLFS, IndexRecord
+from repro.fs.pvfs import PVFS, StorageTarget
+from repro.fs.vfs import ADAInterposer, FileHandle, VFS
+
+__all__ = [
+    "ADAInterposer",
+    "FileHandle",
+    "FileSystem",
+    "IndexRecord",
+    "LocalFS",
+    "ObjectStore",
+    "PLFS",
+    "PVFS",
+    "StorageTarget",
+    "StoredObject",
+    "VFS",
+]

@@ -1,0 +1,105 @@
+"""Common file-system interface.
+
+Read/write are DES *processes* (generators to drive with ``yield from`` or
+``Simulator.run_process``) so that device queuing, striping, and network
+hops all play out in simulated time.  Their return value is a
+:class:`StoredObject` carrying the object's size and -- for materialized
+objects -- its bytes.
+
+Synchronous metadata helpers (``exists``/``nbytes``/``listdir``/``data``)
+are free of simulated cost; explicit metadata *operations* that the paper's
+pipelines pay for (e.g. ADA's indexer lookup) are modeled where they occur.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.fs.memfs import ObjectStore
+from repro.sim import Simulator
+
+__all__ = ["FileSystem", "StoredObject"]
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """What a read returns: size always, content when materialized."""
+
+    path: str
+    nbytes: int
+    data: Optional[bytes] = None
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+
+class FileSystem(ABC):
+    """Base class for all simulated file systems."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.store = ObjectStore()
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+
+    # -- DES processes ------------------------------------------------------
+
+    @abstractmethod
+    def write(
+        self,
+        path: str,
+        data: Optional[bytes] = None,
+        nbytes: Optional[int] = None,
+        request_size: Optional[int] = None,
+        label: str = "write",
+    ) -> Generator:
+        """Process: persist an object (materialized or virtual)."""
+
+    @abstractmethod
+    def read(
+        self,
+        path: str,
+        request_size: Optional[int] = None,
+        label: str = "read",
+    ) -> Generator:
+        """Process: fetch an object; returns a :class:`StoredObject`."""
+
+    # -- synchronous helpers --------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.store.exists(path)
+
+    def nbytes(self, path: str) -> int:
+        return self.store.nbytes(path)
+
+    def data(self, path: str) -> bytes:
+        return self.store.data(path)
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return self.store.listdir(prefix)
+
+    def delete(self, path: str) -> int:
+        return self.store.delete(path)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, objects={len(self.store)})"
+
+    # -- shared internals -------------------------------------------------------
+
+    @staticmethod
+    def _payload_size(data: Optional[bytes], nbytes: Optional[int]) -> int:
+        if data is not None:
+            return len(data)
+        if nbytes is None:
+            raise ValueError("write needs data or nbytes")
+        return int(nbytes)
+
+    @staticmethod
+    def _request_count(nbytes: int, request_size: Optional[int]) -> int:
+        if request_size is None or request_size <= 0 or nbytes <= 0:
+            return 1
+        return max(1, -(-nbytes // request_size))

@@ -1,0 +1,75 @@
+"""Single-device local file system (the ext4 / XFS stand-in).
+
+All data lives on one device (possibly a RAID composite spec); reads and
+writes queue on that device.  ``flavor`` only labels the FS (ext4 on the
+SSD server, XFS on the fat node) -- their streaming behaviour is identical
+at this model's fidelity, which matches the paper's usage (both are simply
+"an existing file system").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import FileNotFoundInFSError
+from repro.fs.base import FileSystem, StoredObject
+from repro.sim import Simulator
+from repro.storage.device import Device, DeviceSpec
+
+__all__ = ["LocalFS"]
+
+
+class LocalFS(FileSystem):
+    """A traditional local file system over one block device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_spec: DeviceSpec,
+        name: Optional[str] = None,
+        flavor: str = "ext4",
+        metadata_latency_s: float = 50e-6,
+    ):
+        super().__init__(sim, name or f"{flavor}:{device_spec.name}")
+        self.flavor = flavor
+        self.device = Device(sim, device_spec)
+        self.metadata_latency_s = metadata_latency_s
+
+    def write(
+        self,
+        path: str,
+        data: Optional[bytes] = None,
+        nbytes: Optional[int] = None,
+        request_size: Optional[int] = None,
+        label: str = "write",
+    ) -> Generator:
+        size = self._payload_size(data, nbytes)
+        self.device.allocate(size)
+        yield self.sim.timeout(self.metadata_latency_s)
+        requests = self._request_count(size, request_size)
+        yield from self.device.write(size, requests=requests, label=label)
+        self.store.put(path, data=data, nbytes=size)
+        self.bytes_written += size
+        return StoredObject(path=path, nbytes=size, data=data)
+
+    def read(
+        self,
+        path: str,
+        request_size: Optional[int] = None,
+        label: str = "read",
+    ) -> Generator:
+        if not self.store.exists(path):
+            raise FileNotFoundInFSError(f"{self.name}: {path}")
+        size = self.store.nbytes(path)
+        yield self.sim.timeout(self.metadata_latency_s)
+        requests = self._request_count(size, request_size)
+        yield from self.device.read(size, requests=requests, label=label)
+        self.bytes_read += size
+        data = None if self.store.is_virtual(path) else self.store.data(path)
+        return StoredObject(path=path, nbytes=size, data=data)
+
+    def delete(self, path: str) -> int:
+        """Remove an object and release its device capacity."""
+        freed = super().delete(path)
+        self.device.free(freed)
+        return freed

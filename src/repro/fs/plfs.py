@@ -1,0 +1,282 @@
+"""PLFS-style container layer with multiple backends (paper §3.3, Fig. 6).
+
+A logical file ``bar`` becomes a container ``bar.plfs/`` whose per-subset
+data files may live on *different* backend file systems -- ADA's dispatcher
+sends the protein subset to the SSD-backed FS and the MISC subset to the
+HDD-backed FS.  The underlying file systems see ordinary files and "process
+an assigned data subset as independent files without noticing that the
+contents have been altered from the original" (paper §3.3).
+
+An index object (JSON, stored on the metadata backend) records, per subset
+chunk: tag, backend, path, and size.  The index is what ADA's indexer
+consults to resolve a tag-selective read.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.errors import ConfigurationError, ContainerError, TagNotFoundError
+from repro.fs.base import FileSystem, StoredObject
+from repro.sim import AllOf, Simulator
+
+__all__ = ["PLFS", "IndexRecord"]
+
+_INDEX_NAME = "index"
+
+
+@dataclass(frozen=True)
+class IndexRecord:
+    """One subset chunk inside a container."""
+
+    tag: str
+    backend: str
+    path: str
+    nbytes: int
+    chunk: int = 0
+
+
+class PLFS:
+    """Container layer multiplexing subsets across backend file systems."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backends: Dict[str, FileSystem],
+        metadata_backend: Optional[str] = None,
+    ):
+        if not backends:
+            raise ConfigurationError("PLFS needs at least one backend")
+        self.sim = sim
+        self.backends = dict(backends)
+        self.metadata_backend = metadata_backend or sorted(backends)[0]
+        if self.metadata_backend not in self.backends:
+            raise ConfigurationError(
+                f"metadata backend {self.metadata_backend!r} is not a backend"
+            )
+        self._indexes: Dict[str, List[IndexRecord]] = {}
+        self._chunk_counters: Dict[tuple, int] = {}
+
+    # -- paths ------------------------------------------------------------
+
+    @staticmethod
+    def container_dir(logical: str) -> str:
+        return f"{logical}.plfs"
+
+    @classmethod
+    def chunk_path(cls, logical: str, tag: str, chunk: int) -> str:
+        return f"{cls.container_dir(logical)}/subset.{tag}/data.{chunk}"
+
+    @classmethod
+    def index_path(cls, logical: str) -> str:
+        return f"{cls.container_dir(logical)}/{_INDEX_NAME}"
+
+    # -- container lifecycle ---------------------------------------------------
+
+    def exists(self, logical: str) -> bool:
+        return logical in self._indexes or self.backends[
+            self.metadata_backend
+        ].exists(self.index_path(logical))
+
+    def tags(self, logical: str) -> List[str]:
+        """Distinct subset tags present in a container, sorted."""
+        return sorted({r.tag for r in self.container_index(logical)})
+
+    def container_index(self, logical: str) -> List[IndexRecord]:
+        """The container's index records (cached after first load)."""
+        if logical in self._indexes:
+            return list(self._indexes[logical])
+        meta_fs = self.backends[self.metadata_backend]
+        path = self.index_path(logical)
+        if not meta_fs.exists(path):
+            raise ContainerError(f"no container index for {logical!r}")
+        try:
+            records = [
+                IndexRecord(**rec) for rec in json.loads(meta_fs.data(path))
+            ]
+        except (ValueError, TypeError) as exc:
+            raise ContainerError(f"corrupt index for {logical!r}: {exc}") from exc
+        self._indexes[logical] = records
+        return list(records)
+
+    def subset_records(self, logical: str, tag: str) -> List[IndexRecord]:
+        records = [r for r in self.container_index(logical) if r.tag == tag]
+        if not records:
+            raise TagNotFoundError(
+                f"container {logical!r} has no subset tagged {tag!r} "
+                f"(available: {self.tags(logical)})"
+            )
+        return sorted(records, key=lambda r: r.chunk)
+
+    def subset_nbytes(self, logical: str, tag: str) -> int:
+        return sum(r.nbytes for r in self.subset_records(logical, tag))
+
+    def container_nbytes(self, logical: str) -> int:
+        return sum(r.nbytes for r in self.container_index(logical))
+
+    # -- DES processes ------------------------------------------------------------
+
+    def write_subset(
+        self,
+        logical: str,
+        tag: str,
+        backend: str,
+        data: Optional[bytes] = None,
+        nbytes: Optional[int] = None,
+        request_size: Optional[int] = None,
+    ) -> Generator:
+        """Process: append one subset chunk to a container."""
+        if backend not in self.backends:
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        records = self._indexes.setdefault(logical, [])
+        # Chunk numbers come from a counter claimed *before* the write (so
+        # concurrent writers pick distinct names), but the index record is
+        # registered only *after* the backend write succeeds (so a failed
+        # dispatch leaves no dangling index entry).
+        chunk = self._chunk_counters.get((logical, tag), 0)
+        self._chunk_counters[(logical, tag)] = chunk + 1
+        path = self.chunk_path(logical, tag, chunk)
+        size = FileSystem._payload_size(data, nbytes)
+        yield from self.backends[backend].write(
+            path, data=data, nbytes=size, request_size=request_size, label="plfs"
+        )
+        record = IndexRecord(
+            tag=tag, backend=backend, path=path, nbytes=size, chunk=chunk
+        )
+        records.append(record)
+        yield from self._flush_index(logical)
+        return record
+
+    def read_subset(
+        self,
+        logical: str,
+        tag: str,
+        request_size: Optional[int] = None,
+    ) -> Generator:
+        """Process: read every chunk of one subset, chunks in parallel.
+
+        Returns a :class:`StoredObject` whose data is the chunk
+        concatenation (or virtual when any chunk is virtual).
+        """
+        records = self.subset_records(logical, tag)
+        procs = [
+            self.sim.process(
+                self.backends[r.backend].read(
+                    r.path, request_size=request_size, label="plfs"
+                ),
+                name=f"plfs:read:{r.path}",
+            )
+            for r in records
+        ]
+        objs = yield AllOf(self.sim, procs)
+        total = sum(o.nbytes for o in objs)
+        if any(o.is_virtual for o in objs):
+            data = None
+        else:
+            data = b"".join(o.data for o in objs)
+        return StoredObject(
+            path=f"{logical}#{tag}", nbytes=total, data=data
+        )
+
+    def read_container(
+        self, logical: str, request_size: Optional[int] = None
+    ) -> Generator:
+        """Process: read every subset of a container concurrently.
+
+        Returns ``{tag: StoredObject}``.
+        """
+        tags = self.tags(logical)
+        procs = [
+            self.sim.process(
+                self.read_subset(logical, tag, request_size=request_size),
+                name=f"plfs:read:{logical}#{tag}",
+            )
+            for tag in tags
+        ]
+        objs = yield AllOf(self.sim, procs)
+        return dict(zip(tags, objs))
+
+    def fsck(self, logical: Optional[str] = None) -> Dict[str, list]:
+        """Container integrity check.
+
+        Cross-references index records against backend objects and
+        reports:
+
+        * ``missing`` -- indexed chunks whose backend object is gone;
+        * ``size_mismatch`` -- chunks whose stored size disagrees with the
+          index;
+        * ``orphaned`` -- ``*.plfs/subset.*`` objects on a backend that no
+          index references (a crashed dispatch, for instance).
+
+        Returns ``{"missing": [...], "size_mismatch": [...],
+        "orphaned": [...], "ok": bool}``.
+        """
+        logicals = (
+            [logical]
+            if logical is not None
+            else sorted(
+                {
+                    key[: -len(".plfs/" + _INDEX_NAME)]
+                    for fs in self.backends.values()
+                    for key in fs.store.walk()
+                    if key.endswith(".plfs/" + _INDEX_NAME)
+                }
+            )
+        )
+        missing, size_mismatch = [], []
+        indexed_paths = set()
+        for name in logicals:
+            for record in self.container_index(name):
+                indexed_paths.add((record.backend, record.path))
+                backend = self.backends[record.backend]
+                if not backend.exists(record.path):
+                    missing.append(record.path)
+                elif backend.nbytes(record.path) != record.nbytes:
+                    size_mismatch.append(record.path)
+        orphaned = []
+        for backend_name, fs in self.backends.items():
+            for key in fs.store.walk():
+                if "/subset." not in key or ".plfs/" not in key:
+                    continue
+                if logical is not None and not key.startswith(
+                    self.container_dir(logical) + "/"
+                ):
+                    continue
+                if (backend_name, key) not in indexed_paths:
+                    orphaned.append(f"{backend_name}:{key}")
+        report = {
+            "missing": sorted(missing),
+            "size_mismatch": sorted(size_mismatch),
+            "orphaned": sorted(orphaned),
+        }
+        report["ok"] = not (missing or size_mismatch or orphaned)
+        return report
+
+    def delete_container(self, logical: str) -> int:
+        """Remove every chunk and the index of a container; returns freed
+        bytes.  Synchronous (metadata-path operation, like ``rm -r``)."""
+        records = self.container_index(logical)
+        freed = 0
+        for record in records:
+            backend = self.backends[record.backend]
+            if backend.exists(record.path):
+                freed += backend.delete(record.path)
+        meta_fs = self.backends[self.metadata_backend]
+        index_path = self.index_path(logical)
+        if meta_fs.exists(index_path):
+            meta_fs.delete(index_path)
+        self._indexes.pop(logical, None)
+        for key in [k for k in self._chunk_counters if k[0] == logical]:
+            del self._chunk_counters[key]
+        return freed
+
+    def _flush_index(self, logical: str) -> Generator:
+        """Persist the index object to the metadata backend."""
+        payload = json.dumps(
+            [asdict(r) for r in self._indexes[logical]]
+        ).encode()
+        yield from self.backends[self.metadata_backend].write(
+            self.index_path(logical), data=payload, label="plfs-index"
+        )

@@ -1,0 +1,62 @@
+"""ASCII line charts: figure-shaped artifacts in plain text.
+
+The paper's figures are log-ish line plots of metric vs frame count, one
+series per scenario.  :func:`series_chart` renders the same thing in a
+terminal: scenarios as letter marks on a scaled canvas, frame counts along
+x, a legend underneath.  Killed points truncate their series exactly as
+the paper's plots do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.harness.report import METRICS
+from repro.harness.scenarios import SCENARIOS, RunResult
+
+__all__ = ["series_chart"]
+
+_MARKS = "ABCDEFGH"
+
+
+def series_chart(
+    results: Iterable[RunResult],
+    metric: str,
+    fs_label: str = "FS",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render a sweep as an ASCII chart (returns multi-line text)."""
+    label, extract, _fmt = METRICS[metric]
+    results = [r for r in results if not r.killed]
+    if not results:
+        return f"{label}: every point was killed"
+    keys = sorted({r.scenario for r in results}, key=list(SCENARIOS).index)
+    frames = sorted({r.nframes for r in results})
+    by_cell = {(r.scenario, r.nframes): extract(r) for r in results}
+
+    values = list(by_cell.values())
+    vmax = max(values) or 1.0
+    xmax = max(frames)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for k, key in enumerate(keys):
+        mark = _MARKS[k % len(_MARKS)]
+        for nframes in frames:
+            value = by_cell.get((key, nframes))
+            if value is None:
+                continue
+            col = int((nframes / xmax) * (width - 1))
+            row = height - 1 - int((value / vmax) * (height - 1))
+            canvas[row][col] = mark
+
+    lines = [f"{label} vs frames (y-max {vmax:.3g})"]
+    lines += ["|" + "".join(row) for row in canvas]
+    lines.append("+" + "-" * width)
+    lines.append(f" 0{'frames'.center(width - 10)}{xmax:,}")
+    legend = "   ".join(
+        f"{_MARKS[k % len(_MARKS)]}={SCENARIOS[key].display(fs_label)}"
+        for k, key in enumerate(keys)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Machine-readable figure data (CSV).
+
+Downstream users want the numbers, not just pretty tables: this module
+flattens sweep results into CSV rows (one per scenario x frame count) so
+the figures can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List
+
+from repro.harness.scenarios import SCENARIOS, RunResult
+
+__all__ = ["results_to_csv", "CSV_FIELDS"]
+
+CSV_FIELDS: List[str] = [
+    "scenario",
+    "scenario_label",
+    "nframes",
+    "loaded_nbytes",
+    "raw_nbytes",
+    "retrieval_s",
+    "turnaround_s",
+    "peak_memory_nbytes",
+    "energy_j",
+    "killed",
+    "killed_phase",
+]
+
+
+def results_to_csv(results: Iterable[RunResult], fs_label: str = "FS") -> str:
+    """Serialize sweep results as CSV text (header + one row per point)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for r in results:
+        writer.writerow(
+            {
+                "scenario": r.scenario,
+                "scenario_label": SCENARIOS[r.scenario].display(fs_label),
+                "nframes": r.nframes,
+                "loaded_nbytes": r.loaded_nbytes,
+                "raw_nbytes": r.raw_nbytes,
+                "retrieval_s": f"{r.retrieval_s:.6f}",
+                "turnaround_s": f"{r.turnaround_s:.6f}",
+                "peak_memory_nbytes": f"{r.peak_memory_nbytes:.0f}",
+                "energy_j": f"{r.energy_j:.1f}",
+                "killed": int(r.killed),
+                "killed_phase": r.killed_phase or "",
+            }
+        )
+    return buffer.getvalue()

@@ -1,0 +1,266 @@
+"""The three evaluation platforms (paper §4, Tables 4 and 5).
+
+Each factory assembles a fresh :class:`Platform`: a DES simulator, one
+compute node running the VMD pipeline, a *traditional* file system (the
+control), and an ADA middleware over backend file systems.
+
+* :func:`ssd_server` -- §4.1: one server, two 256 GB NVMe SSDs, ext4,
+  16 GB DRAM.  ADA places the protein subset on one SSD and MISC on the
+  other ("two separate locations").
+* :func:`small_cluster` -- §4.2: nine nodes; six storage nodes (3x two WD
+  1 TB HDDs, 3x two Plextor SSDs) behind OrangeFS over InfiniBand.  The
+  control PVFS stripes uniformly over the hybrid pool; ADA runs one PVFS
+  per pool and places by tag.
+* :func:`fat_node` -- §4.3: 40-core E7 server, 1,007 GB DRAM, ten WD HDDs
+  in RAID 50 under XFS.  ADA has no second tier here -- its benefit is
+  pre-filtering alone, which is exactly what the section evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.node import ComputeNode, CpuSpec, StorageNode
+from repro.core.middleware import ADA
+from repro.core.tags import PlacementPolicy
+from repro.fs.base import FileSystem
+from repro.fs.localfs import LocalFS
+from repro.fs.pvfs import PVFS, StorageTarget
+from repro.harness.calibration import E5_2603V4, E7_4820V3
+from repro.net.infiniband import INFINIBAND_FDR
+from repro.net.link import Link
+from repro.sim import Simulator
+from repro.storage.device import Device
+from repro.storage.hdd import WD_1TB_HDD
+from repro.storage.power import NodePower
+from repro.storage.raid import raid0_spec, raid50_spec
+from repro.storage.ssd import NVME_SSD_256GB, PLEXTOR_SSD_256GB
+from repro.units import GB, GiB, KiB
+
+__all__ = ["Platform", "ssd_server", "small_cluster", "fat_node"]
+
+#: Traditional readers issue small (stripe/frame-grained) requests; this is
+#: the xdrfile frame-by-frame access pattern on a parallel FS.
+TRADITIONAL_REQUEST_SIZE = 64 * KiB
+
+
+@dataclass
+class Platform:
+    """One assembled testbed."""
+
+    name: str
+    sim: Simulator
+    compute: ComputeNode
+    traditional_fs: FileSystem
+    ada: ADA
+    storage_nodes: List[StorageNode] = field(default_factory=list)
+    #: Request size traditional reads use (None => one sequential request).
+    traditional_request_size: Optional[int] = None
+    description: str = ""
+
+    def parameters(self) -> List:
+        """(name, value) rows for the platform's parameter table."""
+        rows = [
+            ("Platform", self.name),
+            ("CPU", f"{self.compute.cpu.name} @ {self.compute.cpu.ghz:.2f} GHz"),
+            ("Memory", f"{self.compute.memory.capacity / GiB:.0f} GiB"),
+            ("Traditional FS", self.traditional_fs.name),
+            ("ADA backends", ", ".join(sorted(self.ada.plfs.backends))),
+            ("Storage nodes", str(len(self.storage_nodes))),
+        ]
+        return rows
+
+    def device_inventory(self) -> List:
+        """Table-4-style disk rows: (device, read bw, write bw, capacity)."""
+        from repro.units import fmt_bytes, to_mb
+
+        specs = []
+        device = getattr(self.traditional_fs, "device", None)
+        if device is not None:
+            specs.append(device.spec)
+        for fs in self.ada.plfs.backends.values():
+            inner = getattr(fs, "device", None)
+            if inner is not None:
+                specs.append(inner.spec)
+            for target in getattr(fs, "targets", []) or []:
+                specs.append(target.device.spec)
+        rows, seen = [], set()
+        for spec in specs:
+            key = (spec.name, spec.read_bw)
+            if key in seen:
+                continue
+            seen.add(key)
+            rows.append(
+                (
+                    spec.name,
+                    f"{to_mb(spec.read_bw):,.0f} MB/s",
+                    f"{to_mb(spec.write_bw):,.0f} MB/s",
+                    fmt_bytes(spec.capacity),
+                )
+            )
+        return rows
+
+
+def _node_power_cluster() -> NodePower:
+    # Table 4: 400 W average per node under load.
+    return NodePower(idle_w=330.0, cpu_active_w=60.0, io_active_w=10.0)
+
+
+def _node_power_fat() -> NodePower:
+    # 4-socket E7 server: high idle floor, big package swing.
+    return NodePower(idle_w=400.0, cpu_active_w=250.0, io_active_w=80.0)
+
+
+def ssd_server(memory_bytes: float = 16 * GiB, cpu: CpuSpec = E5_2603V4) -> Platform:
+    """§4.1: single server, ext4 over NVMe, 16 GB DRAM."""
+    sim = Simulator()
+    compute = ComputeNode(
+        sim, "ssd-server", cpu=cpu, memory_capacity=memory_bytes,
+        power=_node_power_cluster(),
+    )
+    trad = LocalFS(sim, NVME_SSD_256GB, name="ext4:nvme0", flavor="ext4")
+    backends: Dict[str, FileSystem] = {
+        "nvme0": LocalFS(sim, NVME_SSD_256GB, name="ada:nvme0", flavor="ext4"),
+        "nvme1": LocalFS(sim, NVME_SSD_256GB, name="ada:nvme1", flavor="ext4"),
+    }
+    ada = ADA(
+        sim,
+        backends=backends,
+        placement=PlacementPolicy.paper_default(
+            active_backend="nvme0", inactive_backend="nvme1"
+        ),
+    )
+    return Platform(
+        name="ssd-server",
+        sim=sim,
+        compute=compute,
+        traditional_fs=trad,
+        ada=ada,
+        traditional_request_size=None,  # local sequential reads
+        description="SSD server: E5-2603v4, 16 GB DRAM, 2x 256 GB NVMe, ext4",
+    )
+
+
+def small_cluster(
+    memory_bytes: float = 16 * GiB,
+    cpu: CpuSpec = E5_2603V4,
+    hdd_nodes: int = 3,
+    ssd_nodes: int = 3,
+    drives_per_node: int = 2,
+    stripe_size: int = 64 * KiB,
+    request_overhead_s: float = 0.5e-3,
+) -> Platform:
+    """§4.2: nine-node cluster; hybrid OrangeFS control vs per-pool ADA."""
+    sim = Simulator()
+    compute = ComputeNode(
+        sim, "compute0", cpu=cpu, memory_capacity=memory_bytes,
+        power=_node_power_cluster(),
+    )
+
+    def _make_targets(n, member_spec, prefix):
+        targets, nodes = [], []
+        for i in range(n):
+            spec = raid0_spec(member_spec, drives_per_node, name=f"{prefix}{i}")
+            device = Device(sim, spec)
+            link = Link(sim, INFINIBAND_FDR, name=f"ib:{prefix}{i}")
+            targets.append(StorageTarget(device=device, link=link))
+            nodes.append(
+                StorageNode(
+                    name=f"{prefix}{i}", devices=[device],
+                    power=_node_power_cluster(), link=link,
+                )
+            )
+        return targets, nodes
+
+    hdd_targets, hdd_nodes_list = _make_targets(hdd_nodes, WD_1TB_HDD, "hdd")
+    ssd_targets, ssd_nodes_list = _make_targets(ssd_nodes, PLEXTOR_SSD_256GB, "ssd")
+
+    # Control: one OrangeFS striping uniformly over the hybrid pool.
+    trad = PVFS(
+        sim,
+        hdd_targets + ssd_targets,
+        name="pvfs:hybrid",
+        stripe_size=stripe_size,
+        request_overhead_s=request_overhead_s,
+    )
+    # ADA: one PVFS per homogeneous pool, tag-routed.
+    backends: Dict[str, FileSystem] = {
+        "ssd-pool": PVFS(
+            sim, ssd_targets, name="pvfs:ssd", stripe_size=stripe_size,
+            request_overhead_s=request_overhead_s,
+        ),
+        "hdd-pool": PVFS(
+            sim, hdd_targets, name="pvfs:hdd", stripe_size=stripe_size,
+            request_overhead_s=request_overhead_s,
+        ),
+    }
+    # Each storage node contributes its CPU to ADA's pre-processing pool
+    # (the whole point: this work happens on storage nodes, in parallel).
+    storage_cpus = [
+        ComputeNode(
+            sim, f"{node.name}-cpu", cpu=cpu, memory_capacity=memory_bytes,
+            power=_node_power_cluster(),
+        )
+        for node in hdd_nodes_list + ssd_nodes_list
+    ]
+    ada = ADA(
+        sim,
+        backends=backends,
+        placement=PlacementPolicy.paper_default(
+            active_backend="ssd-pool", inactive_backend="hdd-pool"
+        ),
+        storage_cpus=storage_cpus,
+    )
+    return Platform(
+        name="small-cluster",
+        sim=sim,
+        compute=compute,
+        traditional_fs=trad,
+        ada=ada,
+        storage_nodes=hdd_nodes_list + ssd_nodes_list,
+        traditional_request_size=TRADITIONAL_REQUEST_SIZE,
+        description=(
+            "nine-node cluster: 3 compute, 3x2 WD 1TB HDD + 3x2 Plextor SSD "
+            "storage nodes, OrangeFS over InfiniBand"
+        ),
+    )
+
+
+def fat_node(
+    memory_bytes: float = 1007 * GB, cpu: CpuSpec = E7_4820V3
+) -> Platform:
+    """§4.3: 1 TB-memory server, ten WD HDDs in RAID 50 under XFS."""
+    sim = Simulator()
+    compute = ComputeNode(
+        sim, "fat-node", cpu=cpu, memory_capacity=memory_bytes,
+        power=_node_power_fat(),
+    )
+    raid = raid50_spec(WD_1TB_HDD, n_members=10, spans=2, name="raid50-10xWD")
+    trad = LocalFS(sim, raid, name="xfs:raid50", flavor="xfs")
+    # No flash tier on this machine: both subsets live on the array; ADA's
+    # benefit here is pre-filtering alone (exactly what §4.3 isolates).
+    backends: Dict[str, FileSystem] = {
+        "raid": LocalFS(sim, raid, name="ada:raid50", flavor="xfs"),
+    }
+    ada = ADA(
+        sim,
+        backends=backends,
+        placement=PlacementPolicy(
+            active_tags=frozenset({"p"}),
+            active_backend="raid",
+            inactive_backend="raid",
+        ),
+    )
+    return Platform(
+        name="fat-node",
+        sim=sim,
+        compute=compute,
+        traditional_fs=trad,
+        ada=ada,
+        traditional_request_size=None,
+        description=(
+            "fat node: E7-4820v3 (40 cores), 1,007 GB DRAM, "
+            "10x WD 1TB HDD RAID 50, XFS"
+        ),
+    )

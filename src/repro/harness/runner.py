@@ -1,0 +1,49 @@
+"""Experiment runner: sweeps scenarios across frame counts.
+
+Each (scenario, frame-count) point gets a *fresh* platform -- the paper
+reboots between measurements; we rebuild the DES world, which is cheap in
+modeled mode -- so no state leaks between points.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.platforms import Platform
+from repro.harness.scenarios import SCENARIOS, RunResult, ScenarioPipeline
+from repro.workloads.virtual import SizingModel, VirtualDataset
+
+__all__ = ["run_point", "run_sweep"]
+
+
+def run_point(
+    platform_factory: Callable[[], Platform],
+    scenario_key: str,
+    nframes: int,
+    sizing: Optional[SizingModel] = None,
+) -> RunResult:
+    """Run one scenario at one frame count on a fresh platform."""
+    sizing = sizing or SizingModel.paper()
+    platform = platform_factory()
+    pipeline = ScenarioPipeline(platform, sizing.dataset(nframes))
+    return pipeline.run(scenario_key)
+
+
+def run_sweep(
+    platform_factory: Callable[[], Platform],
+    frame_counts: Sequence[int],
+    scenario_keys: Optional[Iterable[str]] = None,
+    sizing: Optional[SizingModel] = None,
+) -> List[RunResult]:
+    """Run a full figure: every scenario at every frame count.
+
+    Results are ordered scenario-major, frame-minor (one line per series).
+    """
+    keys = list(scenario_keys) if scenario_keys is not None else list(SCENARIOS)
+    results: List[RunResult] = []
+    for key in keys:
+        for nframes in frame_counts:
+            results.append(
+                run_point(platform_factory, key, nframes, sizing=sizing)
+            )
+    return results

@@ -1,0 +1,294 @@
+"""The evaluation scenarios of Table 3, as DES pipelines.
+
+Four load paths, crossed with each platform's traditional FS and ADA:
+
+=============  ==============================================================
+``C-trad``     VMD loads the compressed ``.xtc`` from the traditional FS:
+               transfer C bytes, inflate to R on the compute node (filtering
+               happens inline with inflation), render the protein share.
+``D-trad``     VMD loads pre-decompressed raw data from the traditional FS:
+               transfer R, scan R for active data, render.
+``D-ada-all``  ADA serves both subsets (decompressed): indexer lookup, then
+               sequential subset transfers (the VMD reader is
+               single-threaded), merge subsets back to full frames, render.
+``D-ada-p``    ADA serves only the protein subset: indexer lookup, transfer
+               P, render.  No decompression, no scan.
+=============  ==============================================================
+
+Memory choreography follows the paper's observed accounting (see
+DESIGN.md §3): streaming inflation keeps ~half the compressed buffer
+resident at peak (``R + C/2``); the subset merge needs ~4 % of R in
+scratch; geometry building needs ~2 % of the rendered bytes.  These three
+constants reproduce every OOM-kill threshold of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from repro.cluster.energy import cluster_energy
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.harness.platforms import Platform
+from repro.workloads.virtual import VirtualDataset
+
+__all__ = ["Scenario", "SCENARIOS", "RunResult", "ScenarioPipeline"]
+
+#: Streaming decompression steps (finer steps = more faithful kill timing).
+DECOMPRESS_STEPS = 10
+#: Merge scratch as a fraction of the merged (raw) volume.
+MERGE_SCRATCH = 0.04
+#: Geometry scratch as a fraction of the rendered volume.
+RENDER_SCRATCH = 0.02
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One column of Table 3."""
+
+    key: str
+    label: str  # e.g. "C-{fs}" formatted with the platform FS name
+    description: str
+    uses_ada: bool
+
+    def display(self, fs_label: str) -> str:
+        return self.label.format(fs=fs_label)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.key: s
+    for s in (
+        Scenario(
+            key="C-trad",
+            label="C-{fs}",
+            description="VMD loads a compressed XTC file from the traditional FS",
+            uses_ada=False,
+        ),
+        Scenario(
+            key="D-trad",
+            label="D-{fs}",
+            description="VMD loads a raw XTC file w/o compression",
+            uses_ada=False,
+        ),
+        Scenario(
+            key="D-ada-all",
+            label="D-ADA (all)",
+            description="ADA transfers the entire raw data",
+            uses_ada=True,
+        ),
+        Scenario(
+            key="D-ada-p",
+            label="D-ADA (protein)",
+            description="ADA transfers the protein data",
+            uses_ada=True,
+        ),
+    )
+}
+
+
+@dataclass
+class RunResult:
+    """One data point of a figure: scenario x frame count."""
+
+    scenario: str
+    nframes: int
+    loaded_nbytes: int  # what was read from storage (Table 2 column)
+    raw_nbytes: int
+    retrieval_s: float  # Figs. 7a / 9a / 10a
+    turnaround_s: float  # Figs. 7b / 9b / 10b
+    peak_memory_nbytes: float  # Figs. 7c / 9c / 10c
+    energy_j: float  # Fig. 10d
+    killed: bool = False
+    killed_phase: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return SCENARIOS[self.scenario].label
+
+
+class ScenarioPipeline:
+    """Runs one scenario of one dataset on one (fresh) platform."""
+
+    def __init__(self, platform: Platform, dataset: VirtualDataset):
+        self.platform = platform
+        self.dataset = dataset
+        self._seeded = False
+
+    # -- data placement (not part of the measured window) -------------------
+
+    def seed(self) -> None:
+        """Place the dataset on the traditional FS and ingest into ADA."""
+        sim = self.platform.sim
+        d = self.dataset
+        sim.run_process(
+            self.platform.traditional_fs.write(
+                f"{d.name}.c", nbytes=d.compressed_nbytes
+            )
+        )
+        sim.run_process(
+            self.platform.traditional_fs.write(f"{d.name}.raw", nbytes=d.raw_nbytes)
+        )
+        sim.run_process(
+            self.platform.ada.ingest_virtual(
+                d.name,
+                label_map=d.label_map(),
+                subset_sizes=d.subset_sizes(),
+                compressed_nbytes=d.compressed_nbytes,
+                charge_cpu=False,
+            )
+        )
+        self._seeded = True
+
+    def _reset_measurements(self) -> None:
+        """Clear busy trackers so the window covers only this run."""
+        self.platform.compute.reset_run()
+        for fs in [self.platform.traditional_fs, *self.platform.ada.plfs.backends.values()]:
+            for attr in ("device",):
+                device = getattr(fs, attr, None)
+                if device is not None:
+                    device.busy.clear()
+            targets = getattr(fs, "targets", None)
+            if targets:
+                for t in targets:
+                    t.device.busy.clear()
+                    if t.link is not None:
+                        t.link.busy.clear()
+
+    # -- the measured run ------------------------------------------------------
+
+    def run(self, scenario_key: str) -> RunResult:
+        if scenario_key not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown scenario {scenario_key!r}; have {sorted(SCENARIOS)}"
+            )
+        if not self._seeded:
+            self.seed()
+        self._reset_measurements()
+        sim = self.platform.sim
+        state = {"retrieval_s": 0.0, "killed": False, "killed_phase": None}
+        t0 = sim.now
+        pipeline = {
+            "C-trad": self._run_c_trad,
+            "D-trad": self._run_d_trad,
+            "D-ada-all": self._run_ada_all,
+            "D-ada-p": self._run_ada_protein,
+        }[scenario_key]
+        sim.run_process(self._guarded(pipeline(state, t0), state), name=scenario_key)
+        wall = sim.now - t0
+        energy = cluster_energy(
+            [self.platform.compute], self.platform.storage_nodes, wall_s=wall
+        )
+        return RunResult(
+            scenario=scenario_key,
+            nframes=self.dataset.nframes,
+            loaded_nbytes=self._loaded_nbytes(scenario_key),
+            raw_nbytes=self.dataset.raw_nbytes,
+            retrieval_s=state["retrieval_s"],
+            turnaround_s=wall,
+            peak_memory_nbytes=self.platform.compute.memory.peak,
+            energy_j=energy,
+            killed=state["killed"],
+            killed_phase=state["killed_phase"],
+        )
+
+    def _memory(self, state: dict):
+        """The ledger this run charges: the compute node's by default, or a
+        per-client ledger injected via ``state['memory']`` (multi-client
+        runs model distinct nodes)."""
+        return state.get("memory") or self.platform.compute.memory
+
+    def _loaded_nbytes(self, scenario_key: str) -> int:
+        d = self.dataset
+        return {
+            "C-trad": d.compressed_nbytes,
+            "D-trad": d.raw_nbytes,
+            "D-ada-all": d.raw_nbytes,
+            "D-ada-p": d.protein_nbytes,
+        }[scenario_key]
+
+    def _guarded(self, inner: Generator, state: dict) -> Generator:
+        """Wrap a pipeline so an OOM kill truncates the run, paper-style."""
+        try:
+            yield from inner
+        except OutOfMemoryError:
+            state["killed"] = True
+
+    # -- per-scenario pipelines ----------------------------------------------------
+
+    def _run_c_trad(self, state: dict, t0: float) -> Generator:
+        node = self.platform.compute
+        sim = self.platform.sim
+        d = self.dataset
+        mem = self._memory(state)
+        state["killed_phase"] = "retrieval"
+        mem.allocate("compressed", d.compressed_nbytes)
+        yield from self.platform.traditional_fs.read(
+            f"{d.name}.c", request_size=self.platform.traditional_request_size
+        )
+        node.record_io(t0, sim.now, "retrieval")
+        state["retrieval_s"] = sim.now - t0
+
+        # Streaming inflation: raw grows stepwise while compressed chunks
+        # are consumed; ~half the compressed buffer is resident at peak.
+        state["killed_phase"] = "decompress"
+        for _ in range(DECOMPRESS_STEPS):
+            mem.allocate("raw", d.raw_nbytes / DECOMPRESS_STEPS)
+            yield from node.decompress(d.raw_nbytes / DECOMPRESS_STEPS)
+            mem.shrink(
+                "compressed", d.compressed_nbytes / (2 * DECOMPRESS_STEPS)
+            )
+        mem.free("compressed")
+        yield from self._render(d.protein_nbytes, state)
+
+    def _run_d_trad(self, state: dict, t0: float) -> Generator:
+        node = self.platform.compute
+        sim = self.platform.sim
+        d = self.dataset
+        state["killed_phase"] = "retrieval"
+        self._memory(state).allocate("raw", d.raw_nbytes)
+        yield from self.platform.traditional_fs.read(
+            f"{d.name}.raw", request_size=self.platform.traditional_request_size
+        )
+        node.record_io(t0, sim.now, "retrieval")
+        state["retrieval_s"] = sim.now - t0
+        state["killed_phase"] = "scan"
+        yield from node.scan(d.raw_nbytes, label="filter")
+        yield from self._render(d.protein_nbytes, state)
+
+    def _run_ada_all(self, state: dict, t0: float) -> Generator:
+        node = self.platform.compute
+        sim = self.platform.sim
+        d = self.dataset
+        ada = self.platform.ada
+        state["killed_phase"] = "retrieval"
+        # The VMD reader is single-threaded: subsets arrive one after the
+        # other (plus the indexer lookup the paper calls out in Fig. 7a).
+        for tag, nbytes in sorted(d.subset_sizes().items()):
+            self._memory(state).allocate(f"subset.{tag}", nbytes)
+            yield from ada.fetch(d.name, tag)
+        node.record_io(t0, sim.now, "retrieval")
+        state["retrieval_s"] = sim.now - t0
+        # Merge subsets back into whole frames (generic full-data view).
+        state["killed_phase"] = "merge"
+        self._memory(state).allocate("merge-scratch", d.raw_nbytes * MERGE_SCRATCH)
+        yield from node.scan(d.raw_nbytes, label="merge")
+        self._memory(state).free("merge-scratch")
+        yield from self._render(d.protein_nbytes, state)
+
+    def _run_ada_protein(self, state: dict, t0: float) -> Generator:
+        node = self.platform.compute
+        sim = self.platform.sim
+        d = self.dataset
+        state["killed_phase"] = "retrieval"
+        self._memory(state).allocate("subset.p", d.protein_nbytes)
+        yield from self.platform.ada.fetch(d.name, "p")
+        node.record_io(t0, sim.now, "retrieval")
+        state["retrieval_s"] = sim.now - t0
+        yield from self._render(d.protein_nbytes, state)
+
+    def _render(self, nbytes: float, state: dict) -> Generator:
+        node = self.platform.compute
+        state["killed_phase"] = "render"
+        self._memory(state).allocate("geometry", nbytes * RENDER_SCRATCH)
+        yield from node.render(nbytes)
+        state["killed_phase"] = None

@@ -1,0 +1,202 @@
+"""Reproduction scorecard: every headline claim, checked in one pass.
+
+``python -m repro scorecard`` runs each of the paper's quantitative claims
+against the model and prints PASS/FAIL with the measured value -- the
+machine-checkable version of EXPERIMENTS.md.  The tolerance bands match
+the regression tests in ``tests/harness/test_scenarios.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.harness.platforms import fat_node, small_cluster, ssd_server
+from repro.harness.profilecpu import modeled_cpu_profile
+from repro.harness.report import Table
+from repro.harness.runner import run_point
+from repro.units import to_kj
+
+__all__ = ["Claim", "CLAIMS", "run_scorecard", "render_scorecard"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement from the paper."""
+
+    key: str
+    source: str  # where in the paper
+    statement: str
+    check: Callable[[], Tuple[str, bool]]
+
+
+def _fig7b_13x() -> Tuple[str, bool]:
+    c = run_point(ssd_server, "C-trad", 5_006)
+    p = run_point(ssd_server, "D-ada-p", 5_006)
+    ratio = c.turnaround_s / p.turnaround_s
+    return f"{ratio:.1f}x", 11.0 < ratio < 16.0
+
+
+def _fig7b_ada_all_equals_d() -> Tuple[str, bool]:
+    a = run_point(ssd_server, "D-ada-all", 5_006)
+    d = run_point(ssd_server, "D-trad", 5_006)
+    ratio = a.turnaround_s / d.turnaround_s
+    return f"{ratio:.3f}x", 0.95 < ratio < 1.05
+
+
+def _fig7c_memory() -> Tuple[str, bool]:
+    c = run_point(ssd_server, "C-trad", 5_006)
+    p = run_point(ssd_server, "D-ada-p", 5_006)
+    ratio = c.peak_memory_nbytes / p.peak_memory_nbytes
+    return f"{ratio:.2f}x", ratio > 2.5
+
+
+def _fig8_decompress_share() -> Tuple[str, bool]:
+    share = modeled_cpu_profile(5_006, "C-trad").fraction("decompress")
+    return f"{100 * share:.0f}%", share > 0.5
+
+
+def _fig9a_retrieval() -> Tuple[str, bool]:
+    d = run_point(small_cluster, "D-trad", 6_256)
+    a = run_point(small_cluster, "D-ada-all", 6_256)
+    ratio = d.retrieval_s / a.retrieval_s
+    return f"{ratio:.2f}x", ratio > 2.0
+
+
+def _fig9b_9x() -> Tuple[str, bool]:
+    d = run_point(small_cluster, "D-trad", 6_256)
+    p = run_point(small_cluster, "D-ada-p", 6_256)
+    ratio = d.turnaround_s / p.turnaround_s
+    return f"{ratio:.1f}x", 7.0 < ratio < 12.0
+
+
+def _fig10_kills() -> Tuple[str, bool]:
+    kills = (
+        run_point(fat_node, "C-trad", 1_876_800).killed,
+        run_point(fat_node, "D-ada-all", 1_876_800).killed,
+        run_point(fat_node, "D-ada-p", 4_379_200).killed,
+        run_point(fat_node, "D-ada-p", 5_004_800).killed,
+    )
+    ok = kills == (True, True, False, True)
+    return f"kills={kills}", ok
+
+
+def _fig10_2x_graphs() -> Tuple[str, bool]:
+    xfs_ok = not run_point(fat_node, "C-trad", 1_564_000).killed
+    ada_ok = not run_point(fat_node, "D-ada-p", 2 * 1_876_800).killed
+    return "ADA renders >2x XFS's max frames", xfs_ok and ada_ok
+
+
+def _fig10a_retrieval_share() -> Tuple[str, bool]:
+    r = run_point(fat_node, "C-trad", 1_564_000)
+    share = r.retrieval_s / r.turnaround_s
+    return f"{100 * share:.1f}%", share < 0.10
+
+
+def _fig10d_energy() -> Tuple[str, bool]:
+    xfs = run_point(fat_node, "C-trad", 1_564_000)
+    ada = run_point(fat_node, "D-ada-p", 1_564_000)
+    ratio = xfs.energy_j / ada.energy_j
+    return (
+        f"XFS {to_kj(xfs.energy_j):,.0f} kJ vs ADA {to_kj(ada.energy_j):,.0f} kJ "
+        f"({ratio:.1f}x)",
+        ratio > 3.0 and xfs.energy_j > 10_000e3,
+    )
+
+
+def _table2_sizes() -> Tuple[str, bool]:
+    from repro.units import MB
+    from repro.workloads import SizingModel
+
+    d = SizingModel.paper().dataset(5_006)
+    ok = (
+        abs(d.compressed_nbytes - 800 * MB) < 0.015 * 800 * MB
+        and abs(d.protein_nbytes - 1_108 * MB) < 0.015 * 1_108 * MB
+        and abs(d.raw_nbytes - 2_612 * MB) < 0.015 * 2_612 * MB
+    )
+    return (
+        f"{d.compressed_nbytes / MB:,.0f}/{d.protein_nbytes / MB:,.0f}/"
+        f"{d.raw_nbytes / MB:,.0f} MB",
+        ok,
+    )
+
+
+def _fig7a_ordering() -> Tuple[str, bool]:
+    r = {
+        k: run_point(ssd_server, k, 5_006).retrieval_s
+        for k in ("C-trad", "D-trad", "D-ada-all", "D-ada-p")
+    }
+    ok = (
+        r["C-trad"] < r["D-ada-p"] < r["D-trad"] < r["D-ada-all"]
+        and r["D-ada-all"] < 1.2 * r["D-trad"]
+    )
+    return (
+        "C < ADA(p) < D-ext4 < ADA(all), ADA(all) within 20% of D-ext4",
+        ok,
+    )
+
+
+def _fig9b_widening() -> Tuple[str, bool]:
+    def gap(nframes):
+        c = run_point(small_cluster, "C-trad", nframes)
+        p = run_point(small_cluster, "D-ada-p", nframes)
+        return c.turnaround_s - p.turnaround_s
+
+    small, large = gap(626), gap(6_256)
+    return f"gap {small:.1f}s -> {large:.1f}s", large > 5 * small
+
+
+CLAIMS: List[Claim] = [
+    Claim("table2-sizes", "Table 2",
+          "5,006 frames = 800 MB compressed / 1,108 MB protein / 2,612 MB raw",
+          _table2_sizes),
+    Claim("fig7a-ordering", "Fig. 7a",
+          "C-ext4 best retrieval; D-ADA(all) slightly slower than D-ext4",
+          _fig7a_ordering),
+    Claim("fig7b-13.4x", "Fig. 7b / abstract",
+          "turnaround up to 13.4x better than C-ext4", _fig7b_13x),
+    Claim("fig7b-ada-all", "Fig. 7b",
+          "D-ADA(all) performs the same as D-ext4", _fig7b_ada_all_equals_d),
+    Claim("fig7c-2.5x", "Fig. 7c / abstract",
+          "ext4 memory usage over 2.5x ADA's", _fig7c_memory),
+    Claim("fig8-50pct", "Fig. 8",
+          "decompression >50% of the CPU burst", _fig8_decompress_share),
+    Claim("fig9a-2x", "Fig. 9a",
+          "ADA retrieval >2x better than PVFS", _fig9a_retrieval),
+    Claim("fig9b-9x", "Fig. 9b",
+          "D-PVFS turnaround 9x D-ADA(protein) at 6,256 frames", _fig9b_9x),
+    Claim("fig9b-widening", "Fig. 9b / §4.2",
+          "the compressed-vs-ADA gap widens as frame count grows",
+          _fig9b_widening),
+    Claim("fig10-kills", "Fig. 10",
+          "OOM kills at 1,876,800 (XFS, ADA-all) and 5,004,800 (ADA-protein)",
+          _fig10_kills),
+    Claim("fig10-2x-graphs", "abstract",
+          "1TB server renders more than 2x VMD graphs with ADA", _fig10_2x_graphs),
+    Claim("fig10a-10pct", "§4.3",
+          "raw retrieval <10% of turnaround at 1,564,000 frames",
+          _fig10a_retrieval_share),
+    Claim("fig10d-3x", "Fig. 10d / abstract",
+          "XFS consumes more than 3x energy compared to ADA", _fig10d_energy),
+]
+
+
+def run_scorecard() -> List[Tuple[Claim, str, bool]]:
+    """Evaluate every claim; returns ``(claim, measured, passed)`` rows."""
+    return [(claim, *claim.check()) for claim in CLAIMS]
+
+
+def render_scorecard() -> str:
+    """The scorecard as a printable table (plus a final verdict line)."""
+    rows = run_scorecard()
+    table = Table(
+        ["claim", "source", "paper statement", "measured", "verdict"],
+        title="Reproduction scorecard",
+    )
+    for claim, measured, passed in rows:
+        table.add_row(
+            claim.key, claim.source, claim.statement, measured,
+            "PASS" if passed else "FAIL",
+        )
+    passed = sum(1 for _, _, ok in rows if ok)
+    return f"{table.render()}\n\n{passed}/{len(rows)} claims reproduced"

@@ -1,0 +1,15 @@
+"""A toy molecular-dynamics engine: the upstream producer of ADA's data.
+
+The paper's pipeline starts with an MD application (GROMACS/NAMD/LAMMPS)
+"generating a huge amount of simulation data for a visualization tool like
+VMD".  This package closes that loop: a vectorized Langevin integrator
+with harmonic structure restraints produces physically-flavored frames,
+and a chunked writer emits them as ``.xtc`` segments -- including the
+paper's multi-phase layout where "one .pdb file can guide multiple .xtc
+files, which represent different atom motion phases".
+"""
+
+from repro.mdengine.engine import LangevinEngine
+from repro.mdengine.writer import ChunkedXtcWriter, SimulationCampaign
+
+__all__ = ["ChunkedXtcWriter", "LangevinEngine", "SimulationCampaign"]

@@ -1,0 +1,114 @@
+"""Langevin dynamics with harmonic structure restraints.
+
+Not a force field -- a *data producer* with the right statistics: each atom
+is tethered to its reference position with a class-dependent spring (stiff
+for folded protein, soft for bulk water) and integrated with the BAOAB
+Langevin scheme.  The stationary distribution reproduces the per-class
+fluctuation amplitudes of :mod:`repro.datagen.motion`, but frames now come
+from an actual integrator the way an MD engine emits them: step by step,
+sampled every ``stride`` steps.
+
+Everything is vectorized over atoms; the per-step cost is a handful of
+numpy ufunc sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.datagen.motion import CLASS_AMPLITUDE
+from repro.datagen.system import MolecularSystem
+from repro.errors import ConfigurationError
+from repro.formats.trajectory import Frame, Trajectory
+
+__all__ = ["LangevinEngine"]
+
+
+class LangevinEngine:
+    """BAOAB Langevin integrator over a harmonically restrained system."""
+
+    def __init__(
+        self,
+        system: MolecularSystem,
+        dt_ps: float = 0.002,
+        friction_per_ps: float = 1.0,
+        kt: float = 1.0,
+        seed: Optional[int] = None,
+    ):
+        if dt_ps <= 0 or friction_per_ps <= 0 or kt <= 0:
+            raise ConfigurationError("dt, friction, and kT must be positive")
+        self.system = system
+        self.dt = float(dt_ps)
+        self.friction = float(friction_per_ps)
+        self.kt = float(kt)
+        self.rng = np.random.default_rng(
+            system.seed if seed is None else seed
+        )
+
+        n = system.natoms
+        self.reference = system.coords.astype(np.float64)
+        self.positions = self.reference.copy()
+        self.velocities = np.zeros((n, 3))
+        self.step_count = 0
+
+        # Spring constants chosen so the stationary RMS fluctuation per
+        # class matches CLASS_AMPLITUDE: <x^2> = kT / k  =>  k = kT / amp^2.
+        amp = np.empty(n)
+        for cls, value in CLASS_AMPLITUDE.items():
+            amp[system.topology.class_mask(cls)] = value
+        self.spring = (self.kt / amp**2)[:, None]
+        # Per-axis thermal velocity (unit masses).
+        self._ou_decay = np.exp(-self.friction * self.dt)
+        self._ou_noise = np.sqrt(self.kt * (1.0 - self._ou_decay**2))
+
+    @property
+    def natoms(self) -> int:
+        return self.system.natoms
+
+    @property
+    def time_ps(self) -> float:
+        return self.step_count * self.dt
+
+    def forces(self) -> np.ndarray:
+        """Harmonic restraint forces toward the reference structure."""
+        return -self.spring * (self.positions - self.reference)
+
+    def step(self, nsteps: int = 1) -> None:
+        """Advance the integrator ``nsteps`` BAOAB steps."""
+        half = 0.5 * self.dt
+        for _ in range(nsteps):
+            self.velocities += half * self.forces()          # B
+            self.positions += half * self.velocities          # A
+            self.velocities = (                               # O
+                self._ou_decay * self.velocities
+                + self._ou_noise * self.rng.standard_normal((self.natoms, 3))
+            )
+            self.positions += half * self.velocities          # A
+            self.velocities += half * self.forces()           # B
+            self.step_count += 1
+
+    def current_frame(self) -> Frame:
+        return Frame(
+            coords=self.positions.astype(np.float32),
+            step=self.step_count,
+            time_ps=self.time_ps,
+        )
+
+    def sample(self, nframes: int, stride: int = 50) -> Iterator[Frame]:
+        """Yield ``nframes`` frames, integrating ``stride`` steps between
+        samples -- the output cadence of a real engine's ``nstxout``."""
+        if nframes < 1 or stride < 1:
+            raise ConfigurationError("nframes and stride must be >= 1")
+        for _ in range(nframes):
+            self.step(stride)
+            yield self.current_frame()
+
+    def run(self, nframes: int, stride: int = 50) -> Trajectory:
+        """Integrate and collect a whole trajectory."""
+        return Trajectory.from_frames(self.sample(nframes, stride))
+
+    def temperature_estimate(self) -> float:
+        """Instantaneous kinetic temperature (in units of kT, unit mass)."""
+        return float((self.velocities**2).mean())

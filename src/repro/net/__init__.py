@@ -1,0 +1,11 @@
+"""Network models: point-to-point links and the cluster interconnect.
+
+The paper's cluster moves data from storage to compute nodes over an
+InfiniBand-class fabric (Fig. 3); transfers are modeled as latency +
+bandwidth with FIFO contention per link.
+"""
+
+from repro.net.link import Link, LinkSpec
+from repro.net.infiniband import INFINIBAND_FDR, TEN_GBE, infiniband_spec
+
+__all__ = ["INFINIBAND_FDR", "Link", "LinkSpec", "TEN_GBE", "infiniband_spec"]

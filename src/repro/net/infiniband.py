@@ -1,0 +1,31 @@
+"""Interconnect presets.
+
+The paper names InfiniBand as the cluster fabric (Fig. 3a).  FDR InfiniBand
+moves ~6.8 GB/s per port with microsecond latency -- fast enough that, as
+the paper observes, "raw data transferring is not a performance bottleneck";
+the presets exist so the model *demonstrates* that rather than assuming it.
+"""
+
+from __future__ import annotations
+
+from repro.net.link import LinkSpec
+from repro.units import gbps, mbps
+
+__all__ = ["INFINIBAND_FDR", "TEN_GBE", "infiniband_spec"]
+
+
+def infiniband_spec(
+    name: str = "infiniband",
+    bandwidth_gbps: float = 6.8,
+    latency_us: float = 1.5,
+) -> LinkSpec:
+    return LinkSpec(
+        name=name, bandwidth=gbps(bandwidth_gbps), latency_s=latency_us / 1e6
+    )
+
+
+#: FDR InfiniBand: 56 Gbit/s signaling, ~6.8 GB/s effective.
+INFINIBAND_FDR = infiniband_spec(name="InfiniBand-FDR")
+
+#: Commodity 10 GbE for ablations (≈1.1 GB/s effective).
+TEN_GBE = LinkSpec(name="10GbE", bandwidth=mbps(1100.0), latency_s=30e-6)

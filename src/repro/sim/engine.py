@@ -1,0 +1,342 @@
+"""Core discrete-event simulation engine.
+
+The engine is a classic event-heap design.  :class:`Simulator` owns a heap of
+``(time, seq, event)`` entries; :class:`Process` wraps a Python generator and
+advances it each time the event it is waiting on fires.  The public surface
+mirrors SimPy closely enough that the modeling code reads like standard DES
+code, but the implementation is intentionally small and fully deterministic
+(ties broken by insertion order).
+
+Typical usage::
+
+    sim = Simulator()
+
+    def transfer(sim, link, nbytes):
+        with link.request() as req:
+            yield req
+            yield sim.timeout(nbytes / link.bandwidth)
+
+    sim.process(transfer(sim, link, 1 << 20))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        self.cause = cause
+        super().__init__(cause)
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` triggers them,
+    after which every subscribed callback runs at the current simulation
+    time.  Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as a failure; waiters see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self._triggered = True
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._value = value
+        self._ok = True
+        self._triggered = True  # scheduled immediately, fires at now+delay
+        sim._schedule(self, delay=self.delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event triggers, its value is sent back into the generator (or its
+    exception thrown in, if it failed).  The process-as-event triggers with
+    the generator's return value, so processes can wait on each other.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process target is not a generator: {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wake = Event(self.sim)
+        wake.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
+        wake.succeed(None)
+
+    # -- internal machinery -------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if not self._triggered:
+                self.fail(exc)
+                if not self.callbacks:
+                    # Nobody is watching this process: surface the error.
+                    raise
+            return
+        if not isinstance(target, Event):
+            self.generator.throw(
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            )
+            return
+        self._waiting_on = target
+        if target.triggered and not isinstance(target, Timeout):
+            # Already-fired event: resume immediately (same timestamp).
+            wake = Event(self.sim)
+            wake.callbacks.append(lambda ev: self._resume(target))
+            wake.succeed(None)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = 0
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise SimulationError(f"condition over non-event {ev!r}")
+        for ev in self.events:
+            if ev.triggered and not isinstance(ev, Timeout):
+                self._observe(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._observe)
+        if not self.events and not self._triggered:
+            self.succeed([])
+
+    def _observe(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired (a barrier).
+
+    The value is the list of constituent values in constructor order.  If any
+    constituent fails, the barrier fails with that exception.
+    """
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending <= 0 and all(ev.triggered for ev in self.events):
+            self.succeed([ev.value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires, with that event's value."""
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(event.value)
+
+
+class Simulator:
+    """Event-heap discrete-event simulator.
+
+    Time is a ``float`` in seconds starting at 0.  All scheduling is
+    deterministic: simultaneous events run in scheduling order.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events dispatched so far (diagnostics)."""
+        return self._processed
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start ``generator`` as a process; returns the process-as-event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling / main loop ----------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events until the heap drains (or ``until`` is reached).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            when, _, event = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            if when < self._now - 1e-12:
+                raise SimulationError("event scheduled in the past")
+            self._now = max(self._now, when)
+            self._processed += 1
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_process(self, generator: Generator, name: Optional[str] = None) -> Any:
+        """Convenience: run ``generator`` to completion and return its value.
+
+        Raises whatever the process raised.
+        """
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} never completed (deadlock: "
+                f"{len(self._heap)} events pending)"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value

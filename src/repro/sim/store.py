@@ -1,0 +1,82 @@
+"""Bounded FIFO channel for producer/consumer processes.
+
+A :class:`Store` lets one DES process stream items to another with
+back-pressure: ``put`` blocks when the buffer is full, ``get`` blocks when
+it is empty.  It is the primitive for modeling *pipelined* staging --
+e.g. a disk reading chunks while the NIC ships the previous ones -- as
+opposed to the sequential store-and-forward the scenario pipelines use
+(see the pipelining ablation for why that simplification is safe).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Store"]
+
+
+class Store:
+    """Bounded FIFO of items exchanged between processes."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("store capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque = deque()  # (event, item) pairs
+        self.puts = 0
+        self.gets = 0
+
+    @property
+    def level(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Generator:
+        """Process: enqueue ``item``; waits while the buffer is full."""
+        if self._getters:
+            # A consumer is already waiting: hand over directly.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.puts += 1
+            return
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            self.puts += 1
+            return
+        event = Event(self.sim)
+        self._putters.append((event, item))
+        yield event
+        self.puts += 1
+
+    def get(self) -> Generator:
+        """Process: dequeue the oldest item; waits while empty.
+
+        Use as ``item = yield from store.get()``.
+        """
+        if self._items:
+            item = self._items.popleft()
+            self._admit_waiting_putter()
+            self.gets += 1
+            return item
+        if self._putters:
+            event, item = self._putters.popleft()
+            event.succeed(None)
+            self.gets += 1
+            return item
+        event = Event(self.sim)
+        self._getters.append(event)
+        item = yield event
+        self.gets += 1
+        return item
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and len(self._items) < self.capacity:
+            event, item = self._putters.popleft()
+            self._items.append(item)
+            event.succeed(None)

@@ -1,0 +1,27 @@
+"""Storage-device models.
+
+Device *specs* are pure cost models (seek latency + bandwidth + power) taken
+from the paper's published hardware tables; *devices* bind a spec to the DES
+kernel so concurrent transfers queue on the device and busy intervals feed
+the energy model.
+"""
+
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.hdd import WD_1TB_HDD, hdd_spec
+from repro.storage.ssd import NVME_SSD_256GB, PLEXTOR_SSD_256GB, ssd_spec
+from repro.storage.raid import raid0_spec, raid50_spec
+from repro.storage.power import DevicePower, NodePower
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "DevicePower",
+    "NodePower",
+    "NVME_SSD_256GB",
+    "PLEXTOR_SSD_256GB",
+    "WD_1TB_HDD",
+    "hdd_spec",
+    "raid0_spec",
+    "raid50_spec",
+    "ssd_spec",
+]

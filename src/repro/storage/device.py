@@ -1,0 +1,103 @@
+"""Generic storage-device model.
+
+A :class:`DeviceSpec` is a pure function from request shape to service time;
+a :class:`Device` is a sim-bound instance with a FIFO queue (one request in
+service at a time, as for a real block device at queue depth 1) and a
+:class:`~repro.sim.stats.BusyTracker` for the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Generator, Optional
+
+from repro.errors import ConfigurationError, StorageFullError
+from repro.sim import BusyTracker, Resource, Simulator
+from repro.storage.power import DevicePower
+
+__all__ = ["DeviceSpec", "Device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Cost/power envelope of one storage device.
+
+    ``seek_latency_s`` is charged once per request (head movement for HDDs,
+    command overhead for SSDs); sequential bandwidth covers the payload.
+    """
+
+    name: str
+    read_bw: float  # bytes/second, sequential
+    write_bw: float  # bytes/second, sequential
+    seek_latency_s: float
+    capacity: float  # bytes
+    power: DevicePower
+
+    def __post_init__(self) -> None:
+        if self.read_bw <= 0 or self.write_bw <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.seek_latency_s < 0 or self.capacity <= 0:
+            raise ConfigurationError(f"{self.name}: bad latency/capacity")
+
+    def read_time(self, nbytes: float, requests: int = 1) -> float:
+        """Service time for a read of ``nbytes`` issued as ``requests`` ops."""
+        return max(requests, 1) * self.seek_latency_s + nbytes / self.read_bw
+
+    def write_time(self, nbytes: float, requests: int = 1) -> float:
+        return max(requests, 1) * self.seek_latency_s + nbytes / self.write_bw
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "DeviceSpec":
+        """A spec with bandwidths scaled by ``factor`` (for arrays/ablations)."""
+        return replace(
+            self,
+            name=name or f"{self.name}x{factor:g}",
+            read_bw=self.read_bw * factor,
+            write_bw=self.write_bw * factor,
+        )
+
+
+class Device:
+    """A sim-bound storage device: FIFO service + occupancy accounting."""
+
+    def __init__(self, sim: Simulator, spec: DeviceSpec, name: Optional[str] = None):
+        self.sim = sim
+        self.spec = spec
+        self.name = name or spec.name
+        self.resource = Resource(sim, capacity=1, name=self.name)
+        self.busy = BusyTracker(self.name)
+        self.used_bytes = 0.0
+
+    @property
+    def free_bytes(self) -> float:
+        return self.spec.capacity - self.used_bytes
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve capacity for a write (raises when the device is full)."""
+        if nbytes > self.free_bytes:
+            raise StorageFullError(
+                f"{self.name}: {nbytes:.3e} B requested, "
+                f"{self.free_bytes:.3e} B free"
+            )
+        self.used_bytes += nbytes
+
+    def free(self, nbytes: float) -> None:
+        self.used_bytes = max(0.0, self.used_bytes - nbytes)
+
+    # -- sim processes --------------------------------------------------------
+
+    def read(self, nbytes: float, requests: int = 1, label: str = "read") -> Generator:
+        """DES process: occupy the device for the read's service time."""
+        yield from self._serve(self.spec.read_time(nbytes, requests), label)
+
+    def write(
+        self, nbytes: float, requests: int = 1, label: str = "write"
+    ) -> Generator:
+        """DES process: occupy the device for the write's service time."""
+        yield from self._serve(self.spec.write_time(nbytes, requests), label)
+
+    def _serve(self, duration: float, label: str) -> Generator:
+        with self.resource.request() as req:
+            yield req
+            start = self.sim.now
+            yield self.sim.timeout(duration)
+            self.busy.record(start, self.sim.now, label)

@@ -1,0 +1,65 @@
+"""Power envelopes for devices and nodes.
+
+The paper measures whole-server energy on the fat node with a Modbus power
+meter (Fig. 10d) and reports 400 W average per cluster node (Table 4).  We
+model node power as ``idle + sum(active component draws)`` and integrate over
+busy intervals recorded by the DES -- a standard first-order server energy
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DevicePower", "NodePower"]
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    """Active/idle draw of one storage device, in watts."""
+
+    active_w: float
+    idle_w: float
+
+    def __post_init__(self) -> None:
+        if self.active_w < self.idle_w or self.idle_w < 0:
+            raise ConfigurationError(
+                f"device power active={self.active_w} idle={self.idle_w} invalid"
+            )
+
+    def energy(self, busy_s: float, wall_s: float) -> float:
+        """Joules consumed over ``wall_s`` with ``busy_s`` of activity."""
+        if busy_s > wall_s + 1e-9:
+            raise ConfigurationError("busy time exceeds wall time")
+        return self.active_w * busy_s + self.idle_w * (wall_s - busy_s)
+
+
+@dataclass(frozen=True)
+class NodePower:
+    """Power envelope of a whole node (CPU package + platform)."""
+
+    idle_w: float
+    cpu_active_w: float  # extra draw while the CPU pipeline is busy
+    io_active_w: float = 0.0  # extra draw while disks/NICs are streaming
+
+    def __post_init__(self) -> None:
+        if min(self.idle_w, self.cpu_active_w, self.io_active_w) < 0:
+            raise ConfigurationError("negative power draw")
+
+    @property
+    def peak_w(self) -> float:
+        return self.idle_w + self.cpu_active_w + self.io_active_w
+
+    def energy(self, wall_s: float, cpu_busy_s: float, io_busy_s: float = 0.0) -> float:
+        """Joules consumed by the node over a window of ``wall_s`` seconds."""
+        if wall_s < 0:
+            raise ConfigurationError("negative wall time")
+        cpu_busy_s = min(cpu_busy_s, wall_s)
+        io_busy_s = min(io_busy_s, wall_s)
+        return (
+            self.idle_w * wall_s
+            + self.cpu_active_w * cpu_busy_s
+            + self.io_active_w * io_busy_s
+        )

@@ -1,0 +1,67 @@
+"""RAID array composition.
+
+The fat-node server (Table 5) runs ten WD 1 TB HDDs in RAID 50: two RAID-5
+spans of five drives striped together, i.e. eight data spindles.  We model
+an array as a single composite :class:`DeviceSpec` whose bandwidth is the
+aggregate of its data spindles -- adequate for streaming workloads, which
+is all the VMD pipeline issues.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.storage.device import DeviceSpec
+from repro.storage.power import DevicePower
+
+__all__ = ["raid0_spec", "raid50_spec"]
+
+
+def raid0_spec(member: DeviceSpec, n_members: int, name: str = None) -> DeviceSpec:
+    """Pure striping: bandwidth and capacity scale with every member."""
+    if n_members < 2:
+        raise ConfigurationError("RAID 0 needs at least two members")
+    return DeviceSpec(
+        name=name or f"raid0-{n_members}x{member.name}",
+        read_bw=member.read_bw * n_members,
+        write_bw=member.write_bw * n_members,
+        seek_latency_s=member.seek_latency_s,
+        capacity=member.capacity * n_members,
+        power=DevicePower(
+            active_w=member.power.active_w * n_members,
+            idle_w=member.power.idle_w * n_members,
+        ),
+    )
+
+
+def raid50_spec(
+    member: DeviceSpec,
+    n_members: int = 10,
+    spans: int = 2,
+    name: str = None,
+) -> DeviceSpec:
+    """RAID 50: ``spans`` RAID-5 groups striped together.
+
+    One parity spindle per span: data bandwidth and capacity come from
+    ``n_members - spans`` drives.  Write bandwidth is additionally derated
+    for the read-modify-write parity penalty.
+    """
+    if spans < 2:
+        raise ConfigurationError("RAID 50 needs at least two spans")
+    if n_members % spans != 0:
+        raise ConfigurationError(
+            f"{n_members} members do not divide into {spans} spans"
+        )
+    if n_members // spans < 3:
+        raise ConfigurationError("each RAID-5 span needs at least three drives")
+    data_drives = n_members - spans
+    return DeviceSpec(
+        name=name or f"raid50-{n_members}x{member.name}",
+        read_bw=member.read_bw * data_drives,
+        write_bw=member.write_bw * data_drives * 0.5,  # parity RMW penalty
+        seek_latency_s=member.seek_latency_s,
+        capacity=member.capacity * data_drives,
+        power=DevicePower(
+            active_w=member.power.active_w * n_members,
+            idle_w=member.power.idle_w * n_members,
+        ),
+    )

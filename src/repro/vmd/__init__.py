@@ -1,0 +1,40 @@
+"""A VMD-like visualization front end.
+
+Implements the data-processing procedure of paper Fig. 2: phase one loads
+``.pdb`` structure + trajectory data into an array of frames (decompressing
+and filtering as the source format requires); phase two renders frames into
+3D geometry and replays them.  :class:`~repro.vmd.session.VMDSession`
+mirrors the command-line interface the paper modifies (``mol new foo.pdb``,
+``mol addfile /mnt/bar.xtc tag p``).
+"""
+
+from repro.vmd.molecule import Molecule
+from repro.vmd.loader import LoadResult, PhaseTimer, TrajectoryLoader
+from repro.vmd.render import FrameGeometry, GeometryBuilder, build_bonds
+from repro.vmd.animation import Animator, PlaybackStats
+from repro.vmd.console import CommandError, VMDConsole
+from repro.vmd.raster import rasterize, render_frame_image, to_pgm
+from repro.vmd.selection import SelectionError, compile_selection, select, select_mask
+from repro.vmd.session import VMDSession
+
+__all__ = [
+    "Animator",
+    "CommandError",
+    "FrameGeometry",
+    "VMDConsole",
+    "GeometryBuilder",
+    "LoadResult",
+    "Molecule",
+    "PhaseTimer",
+    "PlaybackStats",
+    "TrajectoryLoader",
+    "VMDSession",
+    "SelectionError",
+    "build_bonds",
+    "compile_selection",
+    "rasterize",
+    "render_frame_image",
+    "select",
+    "select_mask",
+    "to_pgm",
+]

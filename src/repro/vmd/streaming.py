@@ -1,0 +1,88 @@
+"""Windowed streaming access to compressed trajectories.
+
+Paper §2.1: on a memory-limited node, "recently retrieved frames should be
+evacuated from the limited memory to make room for subsequent phases of
+frames".  :class:`StreamingTrajectory` does exactly that over a compressed
+XTC stream: frames decode window-by-window through
+:func:`~repro.formats.xtc.decode_frame_range` (keyframe-anchored partial
+decode), with an LRU of decoded windows bounding residency.  Sequential
+playback decodes each window once; rocking playback with a too-small
+budget thrashes -- reproducing the paper's "low data hit rate under random
+frame accesses".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import CodecError
+from repro.formats.trajectory import BYTES_PER_COORD, Frame, Trajectory
+from repro.formats.xtc import decode_frame_range, iter_frame_infos
+
+__all__ = ["StreamingTrajectory"]
+
+
+class StreamingTrajectory:
+    """Frame access over compressed bytes with bounded decoded residency."""
+
+    def __init__(
+        self,
+        xtc_bytes: bytes,
+        window_frames: int = 32,
+        max_windows: int = 4,
+    ):
+        if window_frames < 1 or max_windows < 1:
+            raise CodecError("window_frames and max_windows must be >= 1")
+        self._data = xtc_bytes
+        infos = list(iter_frame_infos(xtc_bytes))
+        if not infos:
+            raise CodecError("empty XTC stream")
+        self._nframes = len(infos)
+        self._natoms = infos[0].natoms
+        self.window_frames = int(window_frames)
+        self.max_windows = int(max_windows)
+        self._windows: "OrderedDict[int, Trajectory]" = OrderedDict()
+        self.window_decodes = 0
+        self.window_hits = 0
+
+    @property
+    def nframes(self) -> int:
+        return self._nframes
+
+    @property
+    def natoms(self) -> int:
+        return self._natoms
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Decoded bytes currently held (the memory the paper budgets)."""
+        return sum(w.nbytes for w in self._windows.values())
+
+    @property
+    def max_resident_nbytes(self) -> int:
+        """Upper bound on decoded residency implied by the configuration."""
+        return self.max_windows * self.window_frames * self._natoms * BYTES_PER_COORD
+
+    def frame(self, index: int) -> Frame:
+        """Fetch one frame, decoding (or LRU-hitting) its window."""
+        if not 0 <= index < self._nframes:
+            raise CodecError(f"frame {index} outside [0, {self._nframes})")
+        window_id = index // self.window_frames
+        window = self._windows.get(window_id)
+        if window is not None:
+            self.window_hits += 1
+            self._windows.move_to_end(window_id)
+        else:
+            start = window_id * self.window_frames
+            stop = min(start + self.window_frames, self._nframes)
+            window = decode_frame_range(self._data, start, stop)
+            self.window_decodes += 1
+            self._windows[window_id] = window
+            while len(self._windows) > self.max_windows:
+                self._windows.popitem(last=False)
+        return window.frame(index - window_id * self.window_frames)
+
+    def hit_rate(self) -> float:
+        total = self.window_hits + self.window_decodes
+        return self.window_hits / total if total else 0.0

@@ -1,0 +1,28 @@
+"""Workload definitions: the GPCR datasets of the paper's evaluation.
+
+:mod:`repro.workloads.virtual` holds the sizing model that turns a frame
+count into the byte volumes of Tables 2 and 6; :mod:`repro.workloads.gpcr`
+holds the materialized small-scale workload builder and the frame-count
+sweeps of each evaluation section.
+"""
+
+from repro.workloads.virtual import SizingModel, VirtualDataset
+from repro.workloads.gpcr import (
+    CLUSTER_FRAME_COUNTS,
+    FAT_NODE_FRAME_COUNTS,
+    SSD_SERVER_FRAME_COUNTS,
+    TABLE1_FRAME_COUNTS,
+    GpcrWorkload,
+    build_workload,
+)
+
+__all__ = [
+    "CLUSTER_FRAME_COUNTS",
+    "FAT_NODE_FRAME_COUNTS",
+    "GpcrWorkload",
+    "SSD_SERVER_FRAME_COUNTS",
+    "SizingModel",
+    "TABLE1_FRAME_COUNTS",
+    "VirtualDataset",
+    "build_workload",
+]

@@ -1,0 +1,102 @@
+"""GPCR workload presets: materialized builders and the paper's sweeps.
+
+Frame counts come straight from the evaluation:
+
+* Table 1 samples three ``.xtc`` files (626 / 1,251 / 5,006 frames);
+* Table 2 / Fig. 7 sweep 626..5,006 on the SSD server;
+* Fig. 9 extends to 6,256 frames on the cluster;
+* Table 6 / Fig. 10 sweep 62,560..5,004,800 on the fat node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import DataPreProcessor, TagPolicy
+from repro.core.preprocessor import PreProcessResult
+from repro.datagen import MolecularSystem, build_gpcr_system, generate_trajectory
+from repro.formats import Trajectory, encode_xtc, write_pdb
+from repro.workloads.virtual import SizingModel
+
+__all__ = [
+    "TABLE1_FRAME_COUNTS",
+    "SSD_SERVER_FRAME_COUNTS",
+    "CLUSTER_FRAME_COUNTS",
+    "FAT_NODE_FRAME_COUNTS",
+    "GpcrWorkload",
+    "build_workload",
+]
+
+TABLE1_FRAME_COUNTS = (626, 1_251, 5_006)
+
+SSD_SERVER_FRAME_COUNTS = (
+    626, 1_251, 1_877, 2_503, 3_129, 3_754, 4_380, 5_006,
+)
+
+CLUSTER_FRAME_COUNTS = SSD_SERVER_FRAME_COUNTS + (6_256,)
+
+FAT_NODE_FRAME_COUNTS = (
+    62_560, 187_680, 312_800, 437_920, 625_600, 938_400, 1_251_200,
+    1_564_000, 1_876_800, 2_502_400, 3_440_800, 4_379_200, 5_004_800,
+)
+
+
+@dataclass
+class GpcrWorkload:
+    """A materialized small-scale GPCR dataset."""
+
+    system: MolecularSystem
+    trajectory: Trajectory
+    pdb_text: str
+    xtc_blob: bytes
+
+    @property
+    def raw_nbytes(self) -> int:
+        return self.trajectory.nbytes
+
+    @property
+    def compressed_nbytes(self) -> int:
+        return len(self.xtc_blob)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.compressed_nbytes / self.raw_nbytes
+
+    def preprocess(self, policy: Optional[TagPolicy] = None) -> PreProcessResult:
+        """Run ADA's pre-processor over this workload."""
+        pre = DataPreProcessor(policy)
+        return pre.process_topology(self.system.topology, self.xtc_blob)
+
+    def measured_sizing(self) -> SizingModel:
+        """A :class:`SizingModel` calibrated from this workload's real bytes."""
+        result = self.preprocess()
+        return SizingModel.from_measurement(
+            natoms=self.system.natoms,
+            raw_nbytes=self.raw_nbytes,
+            compressed_nbytes=self.compressed_nbytes,
+            protein_nbytes=result.subset_nbytes("p"),
+        )
+
+
+def build_workload(
+    natoms: int = 4000,
+    nframes: int = 20,
+    protein_fraction: float = 0.44,
+    seed: int = 0,
+) -> GpcrWorkload:
+    """Build a materialized GPCR-like workload (system + trajectory + files).
+
+    Defaults stay laptop-friendly; the paper's class mix and compressibility
+    are preserved at any size.
+    """
+    system = build_gpcr_system(
+        natoms_target=natoms, protein_fraction=protein_fraction, seed=seed
+    )
+    trajectory = generate_trajectory(system, nframes=nframes, seed=seed + 1)
+    return GpcrWorkload(
+        system=system,
+        trajectory=trajectory,
+        pdb_text=write_pdb(system.topology, system.coords),
+        xtc_blob=encode_xtc(trajectory),
+    )

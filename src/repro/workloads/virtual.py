@@ -1,0 +1,120 @@
+"""Paper-scale dataset sizing.
+
+Tables 2 and 6 fix the byte arithmetic of the GPCR datasets:
+
+* raw (decompressed) volume grows ~522 KB per frame
+  (Table 2: 327 MB / 626 frames; Table 6 scales identically);
+* the compressed ``.xtc`` is ~0.306x the raw volume (100 MB vs 327 MB);
+* the decompressed *protein* subset is ~0.424x the raw volume
+  (139 MB vs 327 MB; equivalently 1.386x the compressed size).
+
+A :class:`VirtualDataset` applies those constants to any frame count,
+producing the size-only objects the modeled experiments move around.  The
+constants can also be *measured* from the real codec + generator
+(:meth:`SizingModel.from_measurement`) -- the calibration bench reports
+paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.labeler import LabelMap
+from repro.errors import ConfigurationError
+
+__all__ = ["SizingModel", "VirtualDataset"]
+
+#: Atoms per frame implied by Table 2: 327 MB / 626 frames / 12 B.
+PAPER_NATOMS = 43_530
+
+
+@dataclass(frozen=True)
+class SizingModel:
+    """Byte-volume constants of a trajectory corpus."""
+
+    natoms: int = PAPER_NATOMS
+    compression_ratio: float = 0.3061  # compressed / raw  (Table 2)
+    protein_fraction: float = 0.4244  # protein raw / full raw  (Table 2)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compression_ratio < 1:
+            raise ConfigurationError(
+                f"compression ratio {self.compression_ratio} outside (0, 1)"
+            )
+        if not 0 < self.protein_fraction < 1:
+            raise ConfigurationError(
+                f"protein fraction {self.protein_fraction} outside (0, 1)"
+            )
+        if self.natoms < 2:
+            raise ConfigurationError("need at least two atoms")
+
+    @classmethod
+    def paper(cls) -> "SizingModel":
+        """The constants Tables 2/6 publish."""
+        return cls()
+
+    @classmethod
+    def from_measurement(
+        cls, natoms: int, raw_nbytes: int, compressed_nbytes: int, protein_nbytes: int
+    ) -> "SizingModel":
+        """Constants measured from a materialized calibration run."""
+        return cls(
+            natoms=natoms,
+            compression_ratio=compressed_nbytes / raw_nbytes,
+            protein_fraction=protein_nbytes / raw_nbytes,
+        )
+
+    @property
+    def raw_bytes_per_frame(self) -> float:
+        return self.natoms * 12.0
+
+    def dataset(self, nframes: int, name: str = "bar.xtc") -> "VirtualDataset":
+        return VirtualDataset(name=name, nframes=nframes, model=self)
+
+
+@dataclass(frozen=True)
+class VirtualDataset:
+    """Size-only description of one trajectory file at paper scale."""
+
+    name: str
+    nframes: int
+    model: SizingModel
+
+    def __post_init__(self) -> None:
+        if self.nframes < 1:
+            raise ConfigurationError("dataset needs at least one frame")
+
+    @property
+    def raw_nbytes(self) -> int:
+        """Decompressed full volume (the paper's 'Raw Data' column)."""
+        return int(self.nframes * self.model.raw_bytes_per_frame)
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """``.xtc`` volume (the 'Compressed' loaded-size column)."""
+        return int(self.raw_nbytes * self.model.compression_ratio)
+
+    @property
+    def protein_nbytes(self) -> int:
+        """Decompressed protein subset (the 'De-compressed, protein' column)."""
+        return int(self.raw_nbytes * self.model.protein_fraction)
+
+    @property
+    def misc_nbytes(self) -> int:
+        return self.raw_nbytes - self.protein_nbytes
+
+    @property
+    def protein_natoms(self) -> int:
+        return int(round(self.model.natoms * self.model.protein_fraction))
+
+    def subset_sizes(self) -> dict:
+        """Tag -> bytes for ADA's two-way split."""
+        return {"p": self.protein_nbytes, "m": self.misc_nbytes}
+
+    def label_map(self) -> LabelMap:
+        """A block-layout label map consistent with the sizes."""
+        cut = self.protein_natoms
+        return LabelMap(
+            natoms=self.model.natoms,
+            ranges={"p": [(0, cut)], "m": [(cut, self.model.natoms)]},
+        )

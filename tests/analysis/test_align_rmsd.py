@@ -1,0 +1,107 @@
+"""Tests for superposition and RMSD/RMSF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    kabsch_rotation,
+    pairwise_rmsd,
+    rmsd,
+    rmsd_trajectory,
+    rmsf,
+    superpose,
+)
+from repro.errors import TopologyError
+from repro.formats import Trajectory
+
+
+def _conf(n=30, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, 3)) * 5.0
+
+
+def _rotation_matrix(axis_seed=1, angle=0.7):
+    rng = np.random.default_rng(axis_seed)
+    axis = rng.normal(size=3)
+    axis /= np.linalg.norm(axis)
+    k = np.array(
+        [[0, -axis[2], axis[1]], [axis[2], 0, -axis[0]], [-axis[1], axis[0], 0]]
+    )
+    return np.eye(3) + np.sin(angle) * k + (1 - np.cos(angle)) * (k @ k)
+
+
+def test_rmsd_identity_is_zero():
+    a = _conf()
+    assert rmsd(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_rmsd_unaligned_shape_mismatch():
+    with pytest.raises(TopologyError):
+        rmsd(_conf(10), _conf(11), align=False)
+
+
+def test_superpose_recovers_rigid_motion():
+    """A rotated+translated copy superposes back to ~zero RMSD."""
+    a = _conf()
+    moved = a @ _rotation_matrix().T + np.array([10.0, -3.0, 7.0])
+    aligned, value = superpose(moved, a)
+    assert value == pytest.approx(0.0, abs=1e-8)
+    np.testing.assert_allclose(aligned, a, atol=1e-8)
+
+
+def test_kabsch_returns_proper_rotation():
+    r = kabsch_rotation(_conf(seed=1), _conf(seed=2))
+    np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-10)
+    assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+def test_aligned_rmsd_below_unaligned():
+    a = _conf()
+    moved = a @ _rotation_matrix().T + 5.0
+    assert rmsd(moved, a, align=True) < rmsd(moved, a, align=False)
+
+
+def test_rmsd_trajectory_zero_at_reference():
+    traj = Trajectory(
+        coords=np.stack([_conf(seed=i) for i in range(4)]).astype(np.float32)
+    )
+    series = rmsd_trajectory(traj, reference_frame=2)
+    assert series[2] == pytest.approx(0.0, abs=1e-5)
+    assert series.shape == (4,)
+    with pytest.raises(TopologyError):
+        rmsd_trajectory(traj, reference_frame=9)
+
+
+def test_rmsf_flags_mobile_atoms():
+    rng = np.random.default_rng(3)
+    base = _conf(20)
+    frames = np.stack([base for _ in range(50)]).astype(np.float32)
+    frames[:, 0, :] += rng.normal(scale=3.0, size=(50, 3)).astype(np.float32)
+    values = rmsf(Trajectory(coords=frames))
+    assert values[0] > 5 * values[1:].max()
+
+
+def test_pairwise_rmsd_symmetric_zero_diagonal():
+    traj = Trajectory(
+        coords=np.stack([_conf(seed=i) for i in range(5)]).astype(np.float32)
+    )
+    m = pairwise_rmsd(traj)
+    np.testing.assert_allclose(m, m.T, atol=1e-9)
+    np.testing.assert_allclose(np.diag(m), 0.0, atol=1e-9)
+
+
+def test_pairwise_rmsd_aligned_leq_unaligned():
+    traj = Trajectory(
+        coords=np.stack([_conf(seed=i) for i in range(4)]).astype(np.float32)
+    )
+    assert np.all(pairwise_rmsd(traj, align=True) <= pairwise_rmsd(traj) + 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500), angle=st.floats(0.0, 3.1))
+def test_property_superposition_invariant_to_rigid_motion(seed, angle):
+    a = _conf(seed=seed)
+    moved = a @ _rotation_matrix(seed + 1, angle).T + seed % 7
+    _, value = superpose(moved, a)
+    assert value == pytest.approx(0.0, abs=1e-6)

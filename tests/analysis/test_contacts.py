@@ -1,0 +1,72 @@
+"""Tests for contact-map analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import contact_count, contact_map, native_contact_fraction
+from repro.errors import TopologyError
+from repro.formats import Trajectory
+
+
+def _line(n=5, spacing=1.0):
+    coords = np.zeros((n, 3), dtype=np.float32)
+    coords[:, 0] = np.arange(n) * spacing
+    return coords
+
+
+def test_contact_map_nearest_neighbours():
+    m = contact_map(_line(5, spacing=1.0), cutoff=1.5)
+    assert m.shape == (5, 5)
+    assert m[0, 1] and m[1, 2]
+    assert not m[0, 2]
+    assert not m.diagonal().any()
+    np.testing.assert_array_equal(m, m.T)
+
+
+def test_contact_map_selection():
+    m = contact_map(_line(6), cutoff=1.5, selection=np.array([0, 2, 4]))
+    assert m.shape == (3, 3)
+    assert not m.any()  # selected atoms are 2.0 apart
+
+
+def test_contact_map_validation():
+    with pytest.raises(TopologyError):
+        contact_map(np.zeros((3, 2)))
+    with pytest.raises(TopologyError):
+        contact_map(_line(), cutoff=0.0)
+
+
+def test_contact_map_blocking_consistent():
+    """Blocked computation equals the naive one on a >1-block system."""
+    rng = np.random.default_rng(0)
+    coords = rng.uniform(0, 30, size=(700, 3)).astype(np.float32)
+    m = contact_map(coords, cutoff=5.0)
+    d = np.linalg.norm(
+        coords[:, None, :].astype(np.float64) - coords[None, :, :], axis=2
+    )
+    naive = d < 5.0
+    np.fill_diagonal(naive, False)
+    np.testing.assert_array_equal(m, naive)
+
+
+def test_contact_count_series():
+    frames = np.stack([_line(4, 1.0), _line(4, 3.0)])
+    counts = contact_count(Trajectory(coords=frames), cutoff=1.5)
+    assert counts[0] == 3  # chain of neighbours
+    assert counts[1] == 0  # stretched apart
+
+
+def test_native_contact_fraction_decays():
+    frames = np.stack([_line(6, 1.0), _line(6, 1.0), _line(6, 3.0)])
+    q = native_contact_fraction(Trajectory(coords=frames), cutoff=1.5)
+    assert q[0] == pytest.approx(1.0)
+    assert q[1] == pytest.approx(1.0)
+    assert q[2] == pytest.approx(0.0)
+
+
+def test_native_contact_validation():
+    traj = Trajectory(coords=np.stack([_line(4, 10.0)] * 2))
+    with pytest.raises(TopologyError, match="no contacts"):
+        native_contact_fraction(traj, cutoff=1.0)
+    with pytest.raises(TopologyError):
+        native_contact_fraction(traj, reference_frame=5)

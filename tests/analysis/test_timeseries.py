@@ -1,0 +1,103 @@
+"""Tests for block averaging and autocorrelation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    autocorrelation,
+    block_average,
+    integrated_act,
+)
+from repro.errors import TopologyError
+
+
+def _ar1(n, phi, seed=0):
+    """AR(1) series with known autocorrelation phi^lag."""
+    rng = np.random.default_rng(seed)
+    x = np.empty(n)
+    x[0] = rng.standard_normal()
+    for i in range(1, n):
+        x[i] = phi * x[i - 1] + rng.standard_normal() * np.sqrt(1 - phi**2)
+    return x
+
+
+def test_autocorrelation_starts_at_one():
+    c = autocorrelation(_ar1(500, 0.5))
+    assert c[0] == pytest.approx(1.0)
+
+
+def test_autocorrelation_matches_ar1_theory():
+    c = autocorrelation(_ar1(20_000, 0.7, seed=1), max_lag=5)
+    for lag in range(1, 6):
+        assert c[lag] == pytest.approx(0.7**lag, abs=0.05)
+
+
+def test_autocorrelation_white_noise_decays():
+    c = autocorrelation(_ar1(5_000, 0.0, seed=2), max_lag=10)
+    assert np.abs(c[1:]).max() < 0.1
+
+
+def test_autocorrelation_constant_series():
+    c = autocorrelation(np.ones(100))
+    assert c[0] == 1.0
+    assert np.all(c[1:] == 0.0)
+
+
+def test_autocorrelation_validation():
+    with pytest.raises(TopologyError):
+        autocorrelation(np.array([1.0]))
+    with pytest.raises(TopologyError):
+        autocorrelation(np.zeros((3, 3)))
+
+
+def test_integrated_act_white_noise_is_half():
+    assert integrated_act(_ar1(10_000, 0.0, seed=3)) == pytest.approx(0.5, abs=0.15)
+
+
+def test_integrated_act_grows_with_correlation():
+    weak = integrated_act(_ar1(20_000, 0.3, seed=4))
+    strong = integrated_act(_ar1(20_000, 0.9, seed=4))
+    assert strong > 2 * weak
+    # AR(1) theory: tau = (1+phi)/(2(1-phi)) = 9.5 for phi=0.9.
+    assert strong == pytest.approx(9.5, rel=0.4)
+
+
+def test_block_average_rows_shrink():
+    results = block_average(_ar1(1024, 0.5, seed=5))
+    assert results[0].block_size == 1
+    assert results[-1].nblocks >= 4
+    sizes = [r.block_size for r in results]
+    assert sizes == [2**i for i in range(len(sizes))]
+    # Means agree across block sizes.
+    means = [r.mean for r in results]
+    assert max(means) - min(means) < 1e-9
+
+
+def test_block_average_error_grows_for_correlated_data():
+    """Naive (block=1) stderr underestimates; blocking reveals it."""
+    results = block_average(_ar1(8_192, 0.9, seed=6))
+    assert results[-1].stderr > 1.5 * results[0].stderr
+
+
+def test_block_average_white_noise_flat():
+    results = block_average(_ar1(8_192, 0.0, seed=7))
+    assert results[-1].stderr == pytest.approx(results[0].stderr, rel=0.5)
+
+
+def test_block_average_validation():
+    with pytest.raises(TopologyError):
+        block_average(np.arange(3), min_blocks=4)
+
+
+def test_on_real_observable():
+    """Rg of a generated trajectory carries measurable correlation."""
+    from repro.analysis import gyration_radius
+    from repro.datagen import build_gpcr_system, generate_trajectory
+
+    system = build_gpcr_system(natoms_target=800, seed=191)
+    traj = generate_trajectory(system, nframes=256, seed=192)
+    rg = gyration_radius(traj)
+    tau = integrated_act(rg)
+    assert tau > 1.0  # OU dynamics => correlated frames
+    rows = block_average(rg)
+    assert rows[-1].stderr >= rows[0].stderr * 0.9

@@ -1,0 +1,100 @@
+"""Tests for the memory ledger and OOM-kill semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MemoryLedger
+from repro.errors import OutOfMemoryError
+from repro.units import GB
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MemoryLedger(0)
+
+
+def test_allocate_and_free():
+    mem = MemoryLedger(10 * GB)
+    mem.allocate("compressed", 3 * GB)
+    mem.allocate("raw", 5 * GB)
+    assert mem.in_use == pytest.approx(8 * GB)
+    assert mem.available == pytest.approx(2 * GB)
+    assert mem.free("compressed") == pytest.approx(3 * GB)
+    assert mem.in_use == pytest.approx(5 * GB)
+
+
+def test_oom_kill_raises_with_details():
+    mem = MemoryLedger(4 * GB)
+    mem.allocate("raw", 3 * GB)
+    with pytest.raises(OutOfMemoryError) as exc:
+        mem.allocate("more", 2 * GB)
+    assert exc.value.capacity == pytest.approx(4 * GB)
+    assert exc.value.in_use == pytest.approx(3 * GB)
+    # Failed allocation leaves the ledger unchanged.
+    assert mem.in_use == pytest.approx(3 * GB)
+
+
+def test_peak_tracks_high_water_mark():
+    mem = MemoryLedger(10 * GB)
+    mem.allocate("a", 6 * GB)
+    mem.free("a")
+    mem.allocate("b", 2 * GB)
+    assert mem.peak == pytest.approx(6 * GB)
+
+
+def test_labels_accumulate():
+    mem = MemoryLedger(10 * GB)
+    mem.allocate("frames", 1 * GB)
+    mem.allocate("frames", 2 * GB)
+    assert mem.held("frames") == pytest.approx(3 * GB)
+    assert mem.snapshot() == {"frames": pytest.approx(3 * GB)}
+
+
+def test_shrink_partial_release():
+    """Streaming decompression frees compressed chunks as they are consumed."""
+    mem = MemoryLedger(10 * GB)
+    mem.allocate("compressed", 4 * GB)
+    mem.shrink("compressed", 3 * GB)
+    assert mem.held("compressed") == pytest.approx(1 * GB)
+    mem.shrink("compressed", 1 * GB)
+    assert mem.held("compressed") == 0.0
+
+
+def test_shrink_overdraft_rejected():
+    mem = MemoryLedger(10 * GB)
+    mem.allocate("x", 1 * GB)
+    with pytest.raises(ValueError):
+        mem.shrink("x", 2 * GB)
+
+
+def test_negative_allocation_rejected():
+    with pytest.raises(ValueError):
+        MemoryLedger(1 * GB).allocate("x", -1)
+
+
+def test_free_unknown_label_is_zero():
+    assert MemoryLedger(1 * GB).free("ghost") == 0.0
+
+
+def test_reset():
+    mem = MemoryLedger(10 * GB)
+    mem.allocate("a", 5 * GB)
+    mem.reset()
+    assert mem.in_use == 0.0
+    assert mem.peak == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1.0, 1e9), min_size=1, max_size=20),
+)
+def test_property_in_use_never_exceeds_capacity(sizes):
+    mem = MemoryLedger(2e9)
+    for i, size in enumerate(sizes):
+        try:
+            mem.allocate(f"buf{i}", size)
+        except OutOfMemoryError:
+            pass
+        assert mem.in_use <= mem.capacity
+        assert mem.peak <= mem.capacity

@@ -1,0 +1,131 @@
+"""Tests for Algorithm 1 (the labeler) and label-file persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LabelMap, TagPolicy, build_label_map
+from repro.datagen import build_gpcr_system
+from repro.errors import LabelIndexError, TagNotFoundError
+from repro.formats import Topology
+
+
+def _topo(resnames):
+    return Topology(
+        names=["CA"] * len(resnames),
+        resnames=resnames,
+        resids=list(range(1, len(resnames) + 1)),
+    )
+
+
+def test_single_run_per_tag():
+    lm = build_label_map(
+        _topo(["ALA", "ALA", "TIP3", "TIP3", "TIP3"]),
+        TagPolicy.protein_vs_misc(),
+    )
+    assert lm.ranges == {"p": [(0, 2)], "m": [(2, 5)]}
+
+
+def test_alternating_tags_make_multiple_runs():
+    lm = build_label_map(
+        _topo(["ALA", "TIP3", "ALA", "TIP3"]), TagPolicy.protein_vs_misc()
+    )
+    assert lm.ranges["p"] == [(0, 1), (2, 3)]
+    assert lm.ranges["m"] == [(1, 2), (3, 4)]
+    assert lm.run_count("p") == 2
+
+
+def test_indices_expand_ranges():
+    lm = build_label_map(
+        _topo(["ALA", "TIP3", "ALA", "TIP3"]), TagPolicy.protein_vs_misc()
+    )
+    np.testing.assert_array_equal(lm.indices("p"), [0, 2])
+    np.testing.assert_array_equal(lm.indices("m"), [1, 3])
+
+
+def test_atom_count_and_fraction():
+    lm = build_label_map(
+        _topo(["ALA", "ALA", "TIP3", "TIP3", "TIP3"]),
+        TagPolicy.protein_vs_misc(),
+    )
+    assert lm.atom_count("p") == 2
+    assert lm.fraction("p") == pytest.approx(0.4)
+
+
+def test_unknown_tag_raises():
+    lm = build_label_map(_topo(["ALA"]), TagPolicy.protein_vs_misc())
+    with pytest.raises(TagNotFoundError, match="available"):
+        lm.indices("z")
+
+
+def test_empty_topology_empty_map():
+    lm = LabelMap(natoms=0)
+    lm.validate()
+    assert lm.tags == []
+
+
+def test_gpcr_system_fraction_matches_topology():
+    system = build_gpcr_system(natoms_target=3000, protein_fraction=0.44, seed=1)
+    lm = build_label_map(system.topology, TagPolicy.protein_vs_misc())
+    assert lm.fraction("p") == pytest.approx(system.protein_fraction())
+    assert lm.atom_count("p") + lm.atom_count("m") == system.natoms
+
+
+def test_label_file_roundtrip():
+    system = build_gpcr_system(natoms_target=2000, seed=0)
+    lm = build_label_map(system.topology, TagPolicy.per_class())
+    loaded = LabelMap.from_bytes(lm.to_bytes())
+    assert loaded.ranges == lm.ranges
+    assert loaded.natoms == lm.natoms
+
+
+def test_label_file_corruption_detected():
+    with pytest.raises(LabelIndexError, match="corrupt"):
+        LabelMap.from_bytes(b"not json at all")
+
+
+def test_label_file_invalid_partition_detected():
+    blob = LabelMap(natoms=4, ranges={"p": [(0, 2)], "m": [(3, 4)]}).to_bytes()
+    with pytest.raises(LabelIndexError, match="partition"):
+        LabelMap.from_bytes(blob)
+
+
+def test_validate_catches_overlap():
+    lm = LabelMap(natoms=4, ranges={"p": [(0, 3)], "m": [(2, 4)]})
+    with pytest.raises(LabelIndexError):
+        lm.validate()
+
+
+def test_validate_catches_short_cover():
+    lm = LabelMap(natoms=10, ranges={"p": [(0, 4)]})
+    with pytest.raises(LabelIndexError):
+        lm.validate()
+
+
+_RESIDUE_POOL = ["ALA", "GLY", "TIP3", "POPC", "SOD", "LIG", "XXX"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    resnames=st.lists(st.sampled_from(_RESIDUE_POOL), min_size=1, max_size=60),
+    per_class=st.booleans(),
+)
+def test_property_ranges_partition_atom_space(resnames, per_class):
+    """Algorithm 1 invariant: ranges tile [0, natoms) with no gaps/overlap,
+    and every atom's tag matches the policy."""
+    policy = TagPolicy.per_class() if per_class else TagPolicy.protein_vs_misc()
+    topo = _topo(resnames)
+    lm = build_label_map(topo, policy)
+    lm.validate()  # partition invariant
+    tags = policy.atom_tags(topo)
+    for tag in lm.tags:
+        assert all(tags[lm.indices(tag)] == tag)
+    assert sum(lm.atom_count(t) for t in lm.tags) == len(resnames)
+
+
+@settings(max_examples=30, deadline=None)
+@given(resnames=st.lists(st.sampled_from(_RESIDUE_POOL), min_size=1, max_size=40))
+def test_property_label_file_roundtrip(resnames):
+    lm = build_label_map(_topo(resnames), TagPolicy.per_class())
+    assert LabelMap.from_bytes(lm.to_bytes()).ranges == lm.ranges

@@ -1,0 +1,93 @@
+"""Tests for selection-expression-driven tag policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADA, SelectionTagPolicy, build_label_map
+from repro.datagen import build_gpcr_system
+from repro.errors import ConfigurationError
+from repro.formats import AtomClass
+from repro.fs import LocalFS
+from repro.sim import Simulator
+from repro.storage import NVME_SSD_256GB, WD_1TB_HDD
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_gpcr_system(natoms_target=2000, seed=111)
+
+
+def test_rules_validated():
+    with pytest.raises(ConfigurationError):
+        SelectionTagPolicy("empty", [])
+    with pytest.raises(ConfigurationError):
+        SelectionTagPolicy("bad", [("a/b", "all")])
+
+
+def test_first_match_wins(system):
+    policy = SelectionTagPolicy(
+        "study",
+        [("hot", "protein or ligand"), ("ions", "ion"), ("cold", "all")],
+    )
+    tags = policy.atom_tags(system.topology)
+    protein = system.topology.class_mask(AtomClass.PROTEIN)
+    assert all(tags[protein] == "hot")
+    ion = system.topology.class_mask(AtomClass.ION)
+    assert all(tags[ion] == "ions")
+    water = system.topology.class_mask(AtomClass.WATER)
+    assert all(tags[water] == "cold")
+    assert policy.all_tags() == {"hot", "ions", "cold"}
+
+
+def test_uncovered_atoms_rejected(system):
+    policy = SelectionTagPolicy("partial", [("hot", "protein")])
+    with pytest.raises(ConfigurationError, match="untagged"):
+        policy.atom_tags(system.topology)
+
+
+def test_label_map_from_selection_policy(system):
+    policy = SelectionTagPolicy(
+        "ca-study", [("ca", "protein and name CA"), ("rest", "all")]
+    )
+    lm = build_label_map(system.topology, policy)
+    lm.validate()
+    ca_atoms = (
+        (system.topology.names == "CA")
+        & system.topology.class_mask(AtomClass.PROTEIN)
+    ).sum()
+    assert lm.atom_count("ca") == ca_atoms
+
+
+def test_ada_ingest_with_selection_policy():
+    workload = build_workload(natoms=1500, nframes=5, seed=112)
+    sim = Simulator()
+    from repro.core import PlacementPolicy
+
+    ada = ADA(
+        sim,
+        backends={
+            "ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd"),
+            "hdd": LocalFS(sim, WD_1TB_HDD, name="hdd"),
+        },
+        policy=SelectionTagPolicy(
+            "backbone", [("bb", "protein and name N CA C O"), ("rest", "all")]
+        ),
+        placement=PlacementPolicy(
+            active_tags=frozenset({"bb"}),
+            active_backend="ssd",
+            inactive_backend="hdd",
+        ),
+    )
+    receipt = sim.run_process(
+        ada.ingest("bb.xtc", workload.pdb_text, workload.xtc_blob)
+    )
+    assert set(receipt.subset_sizes) == {"bb", "rest"}
+    assert receipt.backends["bb"] == "ssd"
+    # Backbone subset is much smaller than the remainder (4 of ~8.6 atoms
+    # per residue, in a ~44%-protein system => ~20% of the raw volume).
+    assert receipt.subset_sizes["bb"] < 0.30 * receipt.subset_sizes["rest"]
+    obj = sim.run_process(ada.fetch("bb.xtc", "bb"))
+    from repro.formats.xtc import decode_raw
+
+    assert decode_raw(obj.data).nframes == 5

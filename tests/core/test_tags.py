@@ -1,0 +1,103 @@
+"""Tests for tag and placement policies."""
+
+import pytest
+
+from repro.core import PlacementPolicy, TagPolicy
+from repro.datagen import build_gpcr_system
+from repro.errors import ConfigurationError
+from repro.formats import AtomClass, Topology
+
+
+def test_paper_policy_two_tags():
+    policy = TagPolicy.protein_vs_misc()
+    assert policy.tag_of_class(AtomClass.PROTEIN) == "p"
+    for cls in (AtomClass.WATER, AtomClass.LIPID, AtomClass.ION, AtomClass.LIGAND):
+        assert policy.tag_of_class(cls) == "m"
+    assert policy.all_tags() == {"p", "m"}
+
+
+def test_per_class_policy_distinct_tags():
+    policy = TagPolicy.per_class()
+    tags = {policy.tag_of_class(c) for c in AtomClass}
+    assert len(tags) == len(AtomClass)
+
+
+def test_residue_override():
+    policy = TagPolicy(
+        name="chol-out",
+        class_tags=TagPolicy.protein_vs_misc().class_tags,
+        resname_tags={"CHL1": "c"},
+    )
+    assert policy.tag_of_residue("CHL1") == "c"
+    assert policy.tag_of_residue("POPC") == "m"
+    assert policy.tag_of_residue("ALA") == "p"
+
+
+def test_atom_tags_vectorized():
+    policy = TagPolicy.protein_vs_misc()
+    topo = Topology(
+        names=["CA", "OH2", "P"],
+        resnames=["ALA", "TIP3", "POPC"],
+        resids=[1, 2, 3],
+    )
+    assert list(policy.atom_tags(topo)) == ["p", "m", "m"]
+
+
+def test_atom_tags_on_full_system():
+    policy = TagPolicy.protein_vs_misc()
+    system = build_gpcr_system(natoms_target=2000, seed=0)
+    tags = policy.atom_tags(system.topology)
+    protein = system.topology.class_mask(AtomClass.PROTEIN)
+    assert all(tags[protein] == "p")
+    assert all(tags[~protein] == "m")
+
+
+def test_from_config_declarative():
+    """The paper's future-work configuration interface."""
+    policy = TagPolicy.from_config(
+        {
+            "name": "precision-tiers",
+            "classes": {"protein": "hi", "ligand": "hi", "water": "lo"},
+            "residues": {"CHL1": "mid"},
+            "default": "lo",
+        }
+    )
+    assert policy.tag_of_class(AtomClass.PROTEIN) == "hi"
+    assert policy.tag_of_class(AtomClass.LIPID) == "lo"
+    assert policy.tag_of_residue("CHL1") == "mid"
+
+
+def test_from_config_unknown_class_rejected():
+    with pytest.raises(ConfigurationError):
+        TagPolicy.from_config({"classes": {"plasma": "x"}})
+
+
+def test_invalid_tag_characters_rejected():
+    with pytest.raises(ConfigurationError):
+        TagPolicy(
+            name="bad",
+            class_tags={c: "a/b" for c in AtomClass},
+        )
+
+
+def test_missing_class_rejected():
+    with pytest.raises(ConfigurationError):
+        TagPolicy(name="partial", class_tags={AtomClass.PROTEIN: "p"})
+
+
+def test_placement_paper_default():
+    placement = PlacementPolicy.paper_default()
+    assert placement.backend_for("p") == "ssd"
+    assert placement.backend_for("m") == "hdd"
+    assert placement.backend_for("anything-else") == "hdd"
+
+
+def test_placement_overrides():
+    placement = PlacementPolicy(
+        active_tags=frozenset({"p"}),
+        active_backend="ssd",
+        inactive_backend="hdd",
+        overrides={"g": "ssd"},
+    )
+    assert placement.backend_for("g") == "ssd"
+    assert placement.backend_for("w") == "hdd"

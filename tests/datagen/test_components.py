@@ -1,0 +1,117 @@
+"""Tests for the individual synthetic component generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import generate_ions, generate_membrane, generate_protein, generate_water
+from repro.datagen.membrane import ATOMS_PER_LIPID
+from repro.datagen.solvent import ATOMS_PER_WATER
+from repro.errors import TopologyError
+from repro.formats import AtomClass
+
+
+def test_protein_all_atoms_classified_protein():
+    topo, coords = generate_protein(20, seed=1)
+    assert all(topo.classes == AtomClass.PROTEIN)
+    assert coords.shape == (topo.natoms, 3)
+
+
+def test_protein_atom_count_scales_with_residues():
+    small, _ = generate_protein(10, seed=0)
+    large, _ = generate_protein(100, seed=0)
+    assert 6 * 10 <= small.natoms <= 15 * 10
+    assert large.natoms > 5 * small.natoms
+
+
+def test_protein_deterministic_per_seed():
+    t1, c1 = generate_protein(15, seed=42)
+    t2, c2 = generate_protein(15, seed=42)
+    assert t1 == t2
+    np.testing.assert_array_equal(c1, c2)
+    t3, _ = generate_protein(15, seed=43)
+    assert not np.array_equal(t1.resnames, t3.resnames)
+
+
+def test_protein_stays_in_envelope():
+    _, coords = generate_protein(200, seed=3)
+    radius = np.linalg.norm(coords, axis=1).max()
+    assert radius < 3.0 * 200 ** (1 / 3) + 10  # envelope + sidechain slack
+
+
+def test_protein_backbone_present_each_residue():
+    topo, _ = generate_protein(5, seed=0)
+    for resid in range(1, 6):
+        names = set(topo.names[topo.resids == resid])
+        assert {"N", "CA", "C", "O"} <= names
+
+
+def test_protein_zero_residues_rejected():
+    with pytest.raises(TopologyError):
+        generate_protein(0)
+
+
+def test_membrane_atom_count_and_class():
+    topo, coords = generate_membrane(10, seed=1)
+    assert topo.natoms == 10 * ATOMS_PER_LIPID
+    assert all(topo.classes == AtomClass.LIPID)
+    assert coords.shape == (topo.natoms, 3)
+
+
+def test_membrane_two_leaflets():
+    topo, coords = generate_membrane(20, seed=1)
+    head_z = coords[topo.names == "N"][:, 2]
+    assert (head_z > 10).sum() == 10
+    assert (head_z < -10).sum() == 10
+
+
+def test_membrane_respects_exclusion_hole():
+    topo, coords = generate_membrane(16, seed=1, exclusion_radius=15.0)
+    head_xy = coords[topo.names == "P"][:, :2]
+    assert np.all(np.hypot(head_xy[:, 0], head_xy[:, 1]) > 12.0)
+
+
+def test_membrane_zero_lipids_rejected():
+    with pytest.raises(TopologyError):
+        generate_membrane(0)
+
+
+def test_water_count_and_class():
+    topo, coords = generate_water(50, seed=2)
+    assert topo.natoms == 50 * ATOMS_PER_WATER
+    assert all(topo.classes == AtomClass.WATER)
+    assert coords.shape == (topo.natoms, 3)
+
+
+def test_water_z_exclusion_slab_empty():
+    topo, coords = generate_water(100, seed=2, z_exclusion=20.0)
+    oxygens = coords[topo.names == "OH2"]
+    assert np.all(np.abs(oxygens[:, 2]) > 18.0)
+
+
+def test_water_molecule_geometry_tight():
+    topo, coords = generate_water(10, seed=0)
+    o = coords[0::3]
+    h1 = coords[1::3]
+    dist = np.linalg.norm(h1 - o, axis=1)
+    assert np.all(dist < 2.0)  # H bonded to its own O
+
+
+def test_water_zero_rejected():
+    with pytest.raises(TopologyError):
+        generate_water(0)
+
+
+def test_ions_alternate_species():
+    topo, _ = generate_ions(6, seed=0)
+    assert list(topo.resnames) == ["SOD", "CLA"] * 3
+    assert all(topo.classes == AtomClass.ION)
+
+
+def test_ions_inside_box():
+    _, coords = generate_ions(100, seed=1, box_half=30.0)
+    assert np.abs(coords).max() <= 30.0
+
+
+def test_ions_zero_rejected():
+    with pytest.raises(TopologyError):
+        generate_ions(0)

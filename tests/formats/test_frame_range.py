@@ -1,0 +1,94 @@
+"""Tests for keyframe intervals and partial (frame-range) decode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.formats import Trajectory, decode_xtc, encode_xtc, iter_frame_infos
+from repro.formats.xtc import decode_frame_range
+
+
+def _traj(nframes=30, natoms=25, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-20, 20, size=(natoms, 3))
+    walk = rng.normal(scale=0.3, size=(nframes, natoms, 3)).cumsum(axis=0)
+    return Trajectory(coords=(base + walk).astype(np.float32))
+
+
+def test_keyframes_inserted_at_interval():
+    blob = encode_xtc(_traj(nframes=25), keyframe_interval=10)
+    keyframes = [i.index for i in iter_frame_infos(blob) if i.is_keyframe]
+    assert keyframes == [0, 10, 20]
+
+
+def test_keyframe_interval_one_all_iframes():
+    blob = encode_xtc(_traj(nframes=5), keyframe_interval=1)
+    assert all(i.is_keyframe for i in iter_frame_infos(blob))
+
+
+def test_keyframe_interval_validated():
+    with pytest.raises(CodecError):
+        encode_xtc(_traj(), keyframe_interval=0)
+
+
+def test_more_keyframes_bigger_file():
+    t = _traj(nframes=40, natoms=200)
+    dense = encode_xtc(t, keyframe_interval=1)
+    sparse = encode_xtc(t, keyframe_interval=40)
+    assert len(dense) > len(sparse)
+
+
+def test_full_decode_unaffected_by_keyframes():
+    t = _traj(nframes=25)
+    a = decode_xtc(encode_xtc(t, keyframe_interval=7))
+    b = decode_xtc(encode_xtc(t, keyframe_interval=100))
+    np.testing.assert_allclose(a.coords, b.coords, atol=1e-6)
+
+
+def test_frame_range_matches_full_decode():
+    t = _traj(nframes=30)
+    blob = encode_xtc(t, keyframe_interval=8)
+    full = decode_xtc(blob)
+    part = decode_frame_range(blob, 11, 19)
+    assert part.nframes == 8
+    np.testing.assert_allclose(part.coords, full.coords[11:19], atol=1e-6)
+    np.testing.assert_array_equal(part.steps, full.steps[11:19])
+
+
+def test_frame_range_starting_at_keyframe():
+    t = _traj(nframes=20)
+    blob = encode_xtc(t, keyframe_interval=5)
+    part = decode_frame_range(blob, 10, 12)
+    full = decode_xtc(blob)
+    np.testing.assert_allclose(part.coords, full.coords[10:12], atol=1e-6)
+
+
+def test_frame_range_bounds_validated():
+    blob = encode_xtc(_traj(nframes=10))
+    with pytest.raises(CodecError):
+        decode_frame_range(blob, 5, 5)
+    with pytest.raises(CodecError):
+        decode_frame_range(blob, -1, 3)
+    with pytest.raises(CodecError):
+        decode_frame_range(blob, 0, 11)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    interval=st.integers(1, 12),
+    start=st.integers(0, 19),
+    length=st.integers(1, 10),
+)
+def test_property_any_range_equals_full_slice(interval, start, length):
+    t = _traj(nframes=20, natoms=10, seed=7)
+    blob = encode_xtc(t, keyframe_interval=interval)
+    stop = min(start + length, 20)
+    if start >= stop:
+        return
+    part = decode_frame_range(blob, start, stop)
+    full = decode_xtc(blob)
+    np.testing.assert_allclose(
+        part.coords, full.coords[start:stop], atol=1e-6
+    )

@@ -1,0 +1,72 @@
+"""Tests for multi-model PDB (MODEL/ENDMDL) support."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_gpcr_system, generate_trajectory
+from repro.errors import TopologyError
+from repro.formats import parse_pdb, write_pdb
+from repro.formats.pdb import parse_pdb_models, write_pdb_models
+
+
+@pytest.fixture(scope="module")
+def data():
+    system = build_gpcr_system(natoms_target=600, seed=171)
+    traj = generate_trajectory(system, nframes=4, seed=172)
+    return system, traj
+
+
+def test_roundtrip_topology_and_frames(data):
+    system, traj = data
+    text = write_pdb_models(system.topology, traj)
+    topo, out = parse_pdb_models(text)
+    assert topo == system.topology
+    assert out.nframes == 4
+    np.testing.assert_allclose(out.coords, traj.coords, atol=2e-3)
+
+
+def test_model_markers_present(data):
+    system, traj = data
+    text = write_pdb_models(system.topology, traj)
+    assert text.count("MODEL") == text.count("ENDMDL") == 4
+    assert text.rstrip().endswith("END")
+
+
+def test_single_model_file_parses_as_one_frame(data):
+    system, traj = data
+    text = write_pdb(system.topology, traj.coords[0])
+    topo, out = parse_pdb_models(text)
+    assert out.nframes == 1
+    assert topo == system.topology
+
+
+def test_parse_pdb_stops_at_first_endmdl(data):
+    system, traj = data
+    text = write_pdb_models(system.topology, traj)
+    topo, coords = parse_pdb(text)
+    # First conformation only -- not 4x the atoms.
+    assert topo.natoms == system.natoms
+    np.testing.assert_allclose(coords, traj.coords[0], atol=2e-3)
+
+
+def test_inconsistent_models_rejected(data):
+    system, traj = data
+    text = write_pdb_models(system.topology, traj)
+    # Stomp one atom name in the second model.
+    lines = text.splitlines()
+    second_model_start = [i for i, l in enumerate(lines) if l.startswith("MODEL")][1]
+    atom_line = lines[second_model_start + 1]
+    lines[second_model_start + 1] = atom_line[:12] + " XX " + atom_line[16:]
+    with pytest.raises(TopologyError, match="different structure"):
+        parse_pdb_models("\n".join(lines))
+
+
+def test_atom_count_mismatch_rejected(data):
+    system, traj = data
+    with pytest.raises(TopologyError):
+        write_pdb_models(system.topology, traj.select_atoms(np.arange(10)))
+
+
+def test_empty_models_rejected():
+    with pytest.raises(TopologyError):
+        parse_pdb_models("MODEL 1\nENDMDL\nEND\n")

@@ -1,0 +1,100 @@
+"""Tests for the TRR-like full-precision format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.formats import Trajectory
+from repro.formats.trr import decode_trr, encode_trr, trr_nbytes
+
+
+def _traj(nframes=3, natoms=15, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trajectory(
+        coords=rng.normal(size=(nframes, natoms, 3)).astype(np.float32),
+        steps=10 * np.arange(nframes),
+        times_ps=0.5 * np.arange(nframes),
+    )
+
+
+def test_roundtrip_without_velocities():
+    t = _traj()
+    d, v = decode_trr(encode_trr(t))
+    np.testing.assert_array_equal(d.coords, t.coords)
+    np.testing.assert_array_equal(d.steps, t.steps)
+    np.testing.assert_allclose(d.times_ps, t.times_ps, atol=1e-6)
+    assert v is None
+
+
+def test_roundtrip_with_velocities():
+    t = _traj()
+    rng = np.random.default_rng(5)
+    vel = rng.normal(size=t.coords.shape).astype(np.float32)
+    d, v = decode_trr(encode_trr(t, velocities=vel))
+    np.testing.assert_array_equal(v, vel)
+    np.testing.assert_array_equal(d.coords, t.coords)
+
+
+def test_velocity_shape_validated():
+    t = _traj()
+    with pytest.raises(CodecError, match="velocities shape"):
+        encode_trr(t, velocities=np.zeros((1, 2, 3), np.float32))
+
+
+def test_size_formula():
+    t = _traj(nframes=4, natoms=30)
+    assert len(encode_trr(t)) == trr_nbytes(30, 4)
+    vel = np.zeros_like(t.coords)
+    assert len(encode_trr(t, velocities=vel)) == trr_nbytes(
+        30, 4, with_velocities=True
+    )
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(encode_trr(_traj()))
+    blob[0] ^= 0xFF
+    with pytest.raises(CodecError, match="magic"):
+        decode_trr(bytes(blob))
+
+
+def test_truncated_rejected():
+    blob = encode_trr(_traj())
+    with pytest.raises(CodecError, match="truncated"):
+        decode_trr(blob[:-8])
+
+
+def test_empty_rejected():
+    with pytest.raises(CodecError):
+        decode_trr(b"")
+
+
+def test_decompressor_integration():
+    from repro.core import Decompressor
+
+    d = Decompressor()
+    t = _traj()
+    blob = encode_trr(t)
+    assert d.sniff(blob) == "trr"
+    assert not d.is_compressed(blob)
+    out = d.decompress(blob)
+    np.testing.assert_array_equal(out.coords, t.coords)
+
+
+def test_trr_bigger_than_xtc():
+    """Full precision costs: TRR ~3-4x the compressed XTC volume."""
+    from repro.datagen import build_gpcr_system, generate_trajectory
+    from repro.formats import encode_xtc
+
+    system = build_gpcr_system(natoms_target=2000, seed=1)
+    t = generate_trajectory(system, nframes=10, seed=2)
+    assert len(encode_trr(t)) > 2.5 * len(encode_xtc(t))
+
+
+@settings(max_examples=20, deadline=None)
+@given(nframes=st.integers(1, 4), natoms=st.integers(1, 25), seed=st.integers(0, 50))
+def test_property_lossless_roundtrip(nframes, natoms, seed):
+    t = _traj(nframes=nframes, natoms=natoms, seed=seed)
+    d, _ = decode_trr(encode_trr(t))
+    np.testing.assert_array_equal(d.coords, t.coords)

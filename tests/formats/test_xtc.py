@@ -1,0 +1,198 @@
+"""Tests for the XTC-like codec, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.formats import (
+    Trajectory,
+    decode_xtc,
+    encode_xtc,
+    iter_frame_infos,
+    raw_frame_nbytes,
+)
+from repro.formats.xtc import (
+    DEFAULT_PRECISION,
+    count_frames,
+    decode_raw,
+    encode_raw,
+    raw_container_nbytes,
+)
+
+
+def _traj(nframes=4, natoms=30, seed=0, scale=20.0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-scale, scale, size=(natoms, 3))
+    walk = rng.normal(scale=0.5, size=(nframes, natoms, 3)).cumsum(axis=0)
+    return Trajectory(coords=(base + walk).astype(np.float32))
+
+
+def test_roundtrip_within_precision():
+    t = _traj()
+    decoded = decode_xtc(encode_xtc(t))
+    tol = 0.5 / DEFAULT_PRECISION + 1e-6
+    assert np.abs(decoded.coords - t.coords).max() <= tol
+
+
+def test_roundtrip_preserves_steps_and_times():
+    t = Trajectory(
+        coords=np.zeros((3, 5, 3), dtype=np.float32),
+        steps=[100, 200, 300],
+        times_ps=[1.0, 2.0, 3.0],
+    )
+    d = decode_xtc(encode_xtc(t))
+    np.testing.assert_array_equal(d.steps, t.steps)
+    np.testing.assert_allclose(d.times_ps, t.times_ps, atol=1e-5)
+
+
+def test_roundtrip_preserves_box():
+    t = _traj()
+    t.box = np.diag([50.0, 60.0, 70.0]).astype(np.float32)
+    d = decode_xtc(encode_xtc(t))
+    np.testing.assert_allclose(d.box, t.box, atol=1e-4)
+
+
+def test_compression_beats_raw():
+    """The headline property: compressed size well below raw float32."""
+    t = _traj(nframes=20, natoms=500)
+    blob = encode_xtc(t)
+    assert len(blob) < t.nbytes / 1.5
+
+
+def test_single_frame_single_atom():
+    t = Trajectory(coords=np.array([[[1.0, -2.0, 3.0]]], dtype=np.float32))
+    d = decode_xtc(encode_xtc(t))
+    np.testing.assert_allclose(d.coords, t.coords, atol=0.01)
+
+
+def test_decode_with_atom_indices_filters():
+    t = _traj(natoms=10)
+    d = decode_xtc(encode_xtc(t), atom_indices=np.array([2, 5]))
+    assert d.natoms == 2
+    np.testing.assert_allclose(d.coords[:, 1], t.coords[:, 5], atol=0.01)
+
+
+def test_iter_frame_infos_metadata():
+    t = _traj(nframes=5, natoms=17)
+    blob = encode_xtc(t)
+    infos = list(iter_frame_infos(blob))
+    assert len(infos) == 5
+    assert all(i.natoms == 17 for i in infos)
+    assert [i.index for i in infos] == list(range(5))
+    assert sum(i.total_nbytes for i in infos) == len(blob)
+    assert infos[0].raw_nbytes == raw_frame_nbytes(17)
+
+
+def test_count_frames():
+    t = _traj(nframes=7)
+    assert count_frames(encode_xtc(t)) == 7
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(encode_xtc(_traj()))
+    blob[0] ^= 0xFF
+    with pytest.raises(CodecError, match="magic"):
+        decode_xtc(bytes(blob))
+
+
+def test_truncated_stream_rejected():
+    blob = encode_xtc(_traj())
+    with pytest.raises(CodecError, match="truncated"):
+        list(iter_frame_infos(blob[:-10]))
+
+
+def test_corrupt_payload_rejected():
+    blob = bytearray(encode_xtc(_traj(nframes=1)))
+    blob[-8:] = b"\x00" * 8  # stomp on deflate stream
+    with pytest.raises(CodecError):
+        decode_xtc(bytes(blob))
+
+
+def test_empty_stream_rejected():
+    with pytest.raises(CodecError, match="empty"):
+        decode_xtc(b"")
+
+
+def test_negative_precision_rejected():
+    with pytest.raises(CodecError):
+        encode_xtc(_traj(), precision=0.0)
+
+
+def test_coordinate_overflow_rejected():
+    t = Trajectory(coords=np.full((1, 2, 3), 1e9, dtype=np.float32))
+    with pytest.raises(CodecError, match="overflow"):
+        encode_xtc(t, precision=1e6)
+
+
+def test_higher_precision_means_bigger_file():
+    t = _traj(nframes=10, natoms=200)
+    coarse = encode_xtc(t, precision=10.0)
+    fine = encode_xtc(t, precision=10000.0)
+    assert len(fine) > len(coarse)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nframes=st.integers(1, 6),
+    natoms=st.integers(1, 40),
+    seed=st.integers(0, 1000),
+    scale=st.floats(0.1, 500.0),
+)
+def test_property_roundtrip_error_bounded(nframes, natoms, seed, scale):
+    """For any trajectory, decode(encode(t)) is within half a quantum."""
+    t = _traj(nframes=nframes, natoms=natoms, seed=seed, scale=scale)
+    d = decode_xtc(encode_xtc(t))
+    tol = 0.5 / DEFAULT_PRECISION + 1e-5 * scale
+    assert np.abs(d.coords - t.coords).max() <= tol
+
+
+@settings(max_examples=25, deadline=None)
+@given(nframes=st.integers(1, 5), natoms=st.integers(1, 30), seed=st.integers(0, 100))
+def test_property_idempotent_recompression(nframes, natoms, seed):
+    """Encoding an already lossy-decoded trajectory is lossless thereafter."""
+    t = _traj(nframes=nframes, natoms=natoms, seed=seed)
+    once = decode_xtc(encode_xtc(t))
+    twice = decode_xtc(encode_xtc(once))
+    np.testing.assert_allclose(twice.coords, once.coords, atol=1e-6)
+
+
+# -- raw container ----------------------------------------------------------
+
+
+def test_raw_roundtrip_exact():
+    t = _traj(nframes=3, natoms=12)
+    d = decode_raw(encode_raw(t))
+    assert d.allclose(t)
+    np.testing.assert_array_equal(d.times_ps, t.times_ps)
+
+
+def test_raw_container_nbytes_exact():
+    t = _traj(nframes=3, natoms=12)
+    assert len(encode_raw(t)) == raw_container_nbytes(12, 3)
+
+
+def test_raw_bad_magic_rejected():
+    blob = bytearray(encode_raw(_traj()))
+    blob[0] ^= 0xFF
+    with pytest.raises(CodecError, match="magic"):
+        decode_raw(bytes(blob))
+
+
+def test_raw_truncated_rejected():
+    blob = encode_raw(_traj())
+    with pytest.raises(CodecError):
+        decode_raw(blob[:-4])
+
+
+def test_raw_too_short_rejected():
+    with pytest.raises(CodecError, match="header"):
+        decode_raw(b"abc")
+
+
+@settings(max_examples=20, deadline=None)
+@given(nframes=st.integers(1, 5), natoms=st.integers(1, 30), seed=st.integers(0, 50))
+def test_property_raw_roundtrip_lossless(nframes, natoms, seed):
+    t = _traj(nframes=nframes, natoms=natoms, seed=seed)
+    assert decode_raw(encode_raw(t)).allclose(t)

@@ -1,0 +1,46 @@
+"""Tests for shared FS helpers and the StoredObject contract."""
+
+import pytest
+
+from repro.fs.base import FileSystem, StoredObject
+
+
+def test_payload_size_from_data():
+    assert FileSystem._payload_size(b"abcde", None) == 5
+
+
+def test_payload_size_from_nbytes():
+    assert FileSystem._payload_size(None, 1234) == 1234
+
+
+def test_payload_size_requires_one():
+    with pytest.raises(ValueError):
+        FileSystem._payload_size(None, None)
+
+
+@pytest.mark.parametrize(
+    "nbytes,request_size,expected",
+    [
+        (100, None, 1),
+        (100, 0, 1),
+        (0, 10, 1),
+        (100, 100, 1),
+        (101, 100, 2),
+        (1000, 64, 16),
+        (1001, 64, 16),
+        (1025, 64, 17),
+    ],
+)
+def test_request_count(nbytes, request_size, expected):
+    assert FileSystem._request_count(nbytes, request_size) == expected
+
+
+def test_stored_object_virtuality():
+    assert StoredObject(path="p", nbytes=5).is_virtual
+    assert not StoredObject(path="p", nbytes=5, data=b"12345").is_virtual
+
+
+def test_stored_object_is_frozen():
+    obj = StoredObject(path="p", nbytes=5)
+    with pytest.raises(AttributeError):
+        obj.nbytes = 10

@@ -1,0 +1,102 @@
+"""Tests for the single-device local file system."""
+
+import pytest
+
+from repro.errors import FileNotFoundInFSError, StorageFullError
+from repro.fs import LocalFS
+from repro.sim import Simulator
+from repro.storage import DevicePower, DeviceSpec
+from repro.units import GB, MB, mbps
+
+
+def _fs(sim, read=100.0, write=100.0, capacity=10 * GB, **kw):
+    spec = DeviceSpec(
+        name="disk",
+        read_bw=mbps(read),
+        write_bw=mbps(write),
+        seek_latency_s=0.0,
+        capacity=capacity,
+        power=DevicePower(active_w=5.0, idle_w=1.0),
+    )
+    return LocalFS(sim, spec, metadata_latency_s=0.0, **kw)
+
+
+def test_write_then_read_roundtrip():
+    sim = Simulator()
+    fs = _fs(sim)
+    sim.run_process(fs.write("f.xtc", data=b"payload"))
+    obj = sim.run_process(fs.read("f.xtc"))
+    assert obj.data == b"payload"
+    assert obj.nbytes == 7
+    assert not obj.is_virtual
+
+
+def test_read_missing_raises():
+    sim = Simulator()
+    fs = _fs(sim)
+    with pytest.raises(FileNotFoundInFSError):
+        sim.run_process(fs.read("missing"))
+
+
+def test_timing_matches_device_model():
+    sim = Simulator()
+    fs = _fs(sim, read=100.0, write=50.0)
+    sim.run_process(fs.write("f", nbytes=int(100 * MB)))
+    t_write = sim.now
+    sim.run_process(fs.read("f"))
+    assert t_write == pytest.approx(2.0)
+    assert sim.now - t_write == pytest.approx(1.0)
+
+
+def test_virtual_write_charges_capacity():
+    sim = Simulator()
+    fs = _fs(sim, capacity=1 * GB)
+    sim.run_process(fs.write("big", nbytes=int(0.9 * GB)))
+    with pytest.raises(StorageFullError):
+        sim.run_process(fs.write("big2", nbytes=int(0.2 * GB)))
+
+
+def test_virtual_read_returns_sizes():
+    sim = Simulator()
+    fs = _fs(sim)
+    sim.run_process(fs.write("v", nbytes=12345))
+    obj = sim.run_process(fs.read("v"))
+    assert obj.is_virtual
+    assert obj.nbytes == 12345
+
+
+def test_request_size_adds_seeks():
+    sim = Simulator()
+    spec = DeviceSpec(
+        name="hdd",
+        read_bw=mbps(100.0),
+        write_bw=mbps(100.0),
+        seek_latency_s=0.01,
+        capacity=10 * GB,
+        power=DevicePower(active_w=5.0, idle_w=1.0),
+    )
+    fs = LocalFS(sim, spec, metadata_latency_s=0.0)
+    sim.run_process(fs.write("f", nbytes=int(10 * MB)))
+    t0 = sim.now
+    sim.run_process(fs.read("f"))
+    bulk = sim.now - t0
+    t0 = sim.now
+    sim.run_process(fs.read("f", request_size=int(1 * MB)))
+    chunked = sim.now - t0
+    assert chunked == pytest.approx(bulk + 9 * 0.01)
+
+
+def test_byte_counters():
+    sim = Simulator()
+    fs = _fs(sim)
+    sim.run_process(fs.write("a", data=b"xx"))
+    sim.run_process(fs.read("a"))
+    sim.run_process(fs.read("a"))
+    assert fs.bytes_written == 2
+    assert fs.bytes_read == 4
+
+
+def test_flavor_label():
+    sim = Simulator()
+    fs = _fs(sim, flavor="xfs")
+    assert fs.flavor == "xfs"

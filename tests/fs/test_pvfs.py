@@ -1,0 +1,137 @@
+"""Tests for the striped parallel file system."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FileNotFoundInFSError
+from repro.fs import PVFS, StorageTarget
+from repro.net import Link, LinkSpec
+from repro.sim import Simulator
+from repro.storage import Device, DevicePower, DeviceSpec
+from repro.units import GB, KiB, MB, mbps
+
+
+def _device(sim, read=100.0, name="d", capacity=10 * GB):
+    spec = DeviceSpec(
+        name=name,
+        read_bw=mbps(read),
+        write_bw=mbps(read),
+        seek_latency_s=0.0,
+        capacity=capacity,
+        power=DevicePower(active_w=5.0, idle_w=1.0),
+    )
+    return Device(sim, spec)
+
+
+def _pvfs(sim, speeds, **kw):
+    targets = [
+        StorageTarget(device=_device(sim, read=s, name=f"d{i}"))
+        for i, s in enumerate(speeds)
+    ]
+    kw.setdefault("request_overhead_s", 0.0)
+    kw.setdefault("metadata_latency_s", 0.0)
+    return PVFS(sim, targets, **kw)
+
+
+def test_needs_targets():
+    with pytest.raises(ConfigurationError):
+        PVFS(Simulator(), [])
+
+
+def test_stripe_layout_balanced():
+    sim = Simulator()
+    fs = _pvfs(sim, [100, 100, 100], stripe_size=64 * KiB)
+    layout = fs.stripe_layout(10 * 64 * KiB)
+    assert sum(layout) == 10 * 64 * KiB
+    assert max(layout) - min(layout) <= 64 * KiB
+
+
+def test_stripe_layout_with_remainder():
+    sim = Simulator()
+    fs = _pvfs(sim, [100, 100], stripe_size=1000)
+    layout = fs.stripe_layout(2500)
+    assert sum(layout) == 2500
+    assert layout == [1500, 1000]
+
+
+def test_striped_read_is_parallel():
+    """Three equal targets read a file ~3x faster than one would."""
+    sim = Simulator()
+    fs = _pvfs(sim, [100, 100, 100])
+    sim.run_process(fs.write("f", nbytes=int(300 * MB)))
+    t0 = sim.now
+    sim.run_process(fs.read("f"))
+    assert sim.now - t0 == pytest.approx(1.0, rel=0.05)
+
+
+def test_heterogeneous_pool_paced_by_slowest():
+    """Half the stripes on slow targets dominate completion (the hybrid
+    HDD+SSD pool effect of Section 4.2)."""
+    sim = Simulator()
+    fs = _pvfs(sim, [100, 100, 1000, 1000])
+    sim.run_process(fs.write("f", nbytes=int(400 * MB)))
+    t0 = sim.now
+    sim.run_process(fs.read("f"))
+    elapsed = sim.now - t0
+    assert elapsed == pytest.approx((100 * MB) / mbps(100), rel=0.05)
+
+
+def test_request_overhead_charged_per_stripe():
+    sim = Simulator()
+    fs = _pvfs(sim, [100], stripe_size=1 * MB, request_overhead_s=0.001)
+    sim.run_process(fs.write("f", nbytes=int(10 * MB)))
+    t0 = sim.now
+    sim.run_process(fs.read("f"))
+    small = sim.now - t0
+    t0 = sim.now
+    sim.run_process(fs.read("f", request_size=int(10 * MB)))
+    bulk = sim.now - t0
+    assert small - bulk == pytest.approx(9 * 0.001)
+
+
+def test_read_missing_raises():
+    sim = Simulator()
+    fs = _pvfs(sim, [100])
+    with pytest.raises(FileNotFoundInFSError):
+        sim.run_process(fs.read("missing"))
+
+
+def test_materialized_roundtrip():
+    sim = Simulator()
+    fs = _pvfs(sim, [100, 100])
+    payload = bytes(range(256)) * 10
+    sim.run_process(fs.write("blob", data=payload))
+    obj = sim.run_process(fs.read("blob"))
+    assert obj.data == payload
+
+
+def test_capacity_split_across_targets():
+    sim = Simulator()
+    fs = _pvfs(sim, [100, 100])
+    sim.run_process(fs.write("f", nbytes=int(1 * GB)))
+    used = [t.device.used_bytes for t in fs.targets]
+    assert sum(used) == pytest.approx(1 * GB)
+    assert used[0] == pytest.approx(used[1], rel=0.01)
+
+
+def test_network_hop_charged():
+    sim = Simulator()
+    dev = _device(sim, read=1000.0)
+    link = Link(sim, LinkSpec(name="l", bandwidth=mbps(100.0), latency_s=0.0))
+    fs = PVFS(
+        sim,
+        [StorageTarget(device=dev, link=link)],
+        request_overhead_s=0.0,
+        metadata_latency_s=0.0,
+    )
+    sim.run_process(fs.write("f", nbytes=int(100 * MB)))
+    t0 = sim.now
+    sim.run_process(fs.read("f"))
+    # 0.1 s device + 1.0 s network.
+    assert sim.now - t0 == pytest.approx(1.1, rel=0.02)
+    # Both the write and the read crossed the link.
+    assert link.bytes_moved == pytest.approx(200 * MB)
+
+
+def test_bad_stripe_size_rejected():
+    with pytest.raises(ConfigurationError):
+        _pvfs(Simulator(), [100], stripe_size=0)

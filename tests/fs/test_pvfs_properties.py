@@ -1,0 +1,63 @@
+"""Property-based tests for PVFS striping arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs import PVFS, StorageTarget
+from repro.sim import Simulator
+from repro.storage import Device, DevicePower, DeviceSpec
+from repro.units import GB, mbps
+
+
+def _pvfs(n_targets, stripe_size):
+    sim = Simulator()
+    spec = DeviceSpec(
+        name="d",
+        read_bw=mbps(100),
+        write_bw=mbps(100),
+        seek_latency_s=0.0,
+        capacity=100 * GB,
+        power=DevicePower(active_w=1.0, idle_w=0.5),
+    )
+    targets = [StorageTarget(Device(sim, spec, name=f"d{i}")) for i in range(n_targets)]
+    return PVFS(sim, targets, stripe_size=stripe_size)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n_targets=st.integers(1, 12),
+    stripe_size=st.integers(1, 1 << 20),
+    nbytes=st.integers(0, 1 << 32),
+)
+def test_property_stripe_layout_conserves_and_balances(
+    n_targets, stripe_size, nbytes
+):
+    """Layout invariants for any (targets, stripe, size):
+
+    * shares sum exactly to the object size;
+    * no share is negative;
+    * imbalance never exceeds one stripe plus the tail remainder;
+    * byte counts are whole stripes except on the tail target.
+    """
+    fs = _pvfs(n_targets, stripe_size)
+    layout = fs.stripe_layout(nbytes)
+    assert len(layout) == n_targets
+    assert sum(layout) == nbytes
+    assert all(share >= 0 for share in layout)
+    assert max(layout) - min(layout) <= 2 * stripe_size
+    remainder_targets = sum(1 for s in layout if s % stripe_size != 0)
+    assert remainder_targets <= 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_targets=st.integers(1, 6),
+    nbytes=st.integers(1, 1 << 24),
+)
+def test_property_layout_matches_capacity_accounting(n_targets, nbytes):
+    """After a write, per-device used bytes equal the computed layout."""
+    fs = _pvfs(n_targets, 64 * 1024)
+    fs.sim.run_process(fs.write("obj", nbytes=nbytes))
+    layout = fs.stripe_layout(nbytes)
+    used = [t.device.used_bytes for t in fs.targets]
+    assert used == [float(share) for share in layout]

@@ -1,0 +1,55 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.harness import run_sweep, ssd_server
+from repro.harness.asciichart import series_chart
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        ssd_server, (626, 2_503, 5_006), scenario_keys=("C-trad", "D-ada-p")
+    )
+
+
+def test_chart_structure(sweep):
+    chart = series_chart(sweep, "turnaround", fs_label="ext4", width=40, height=10)
+    lines = chart.splitlines()
+    assert lines[0].startswith("turnaround vs frames")
+    assert len([l for l in lines if l.startswith("|")]) == 10
+    assert "legend: A=C-ext4   B=D-ADA (protein)" in lines[-1]
+    assert "5,006" in chart
+
+
+def test_marks_present_for_each_series(sweep):
+    chart = series_chart(sweep, "turnaround", width=40, height=10)
+    body = "\n".join(l for l in chart.splitlines() if l.startswith("|"))
+    assert "A" in body and "B" in body
+
+
+def test_slow_series_sits_higher(sweep):
+    """C-trad (A) peaks at the top row; ADA (B) stays near the bottom."""
+    chart = series_chart(sweep, "turnaround", width=40, height=10)
+    rows = [l[1:] for l in chart.splitlines() if l.startswith("|")]
+    top_a = min(i for i, row in enumerate(rows) if "A" in row)
+    top_b = min(i for i, row in enumerate(rows) if "B" in row)
+    assert top_a < top_b
+
+
+def test_killed_points_dropped():
+    from repro.harness import fat_node, run_sweep
+
+    results = run_sweep(
+        fat_node, (1_564_000, 1_876_800), scenario_keys=("C-trad",)
+    )
+    chart = series_chart(results, "turnaround", width=40, height=8)
+    # Only the surviving point plots; x-max shrinks to it.
+    assert "1,564,000" in chart
+
+
+def test_all_killed_message():
+    from repro.harness import fat_node, run_sweep
+
+    results = run_sweep(fat_node, (5_004_800,), scenario_keys=("C-trad",))
+    assert "killed" in series_chart(results, "turnaround")

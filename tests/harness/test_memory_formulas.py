@@ -1,0 +1,80 @@
+"""Closed-form regression of the scenario memory model.
+
+DESIGN.md §3 (and docs/cost_model.md §5) publish exact peak-memory
+formulas per scenario; these tests pin the pipelines to them so a
+refactor cannot silently drift the OOM-kill thresholds of Fig. 10.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness import run_point, ssd_server
+from repro.harness.scenarios import DECOMPRESS_STEPS, MERGE_SCRATCH, RENDER_SCRATCH
+from repro.workloads import SizingModel
+
+
+def _sizes(nframes):
+    d = SizingModel.paper().dataset(nframes)
+    return d.compressed_nbytes, d.raw_nbytes, d.protein_nbytes
+
+
+@settings(max_examples=8, deadline=None)
+@given(nframes=st.integers(100, 20_000))
+def test_property_c_path_peak_formula(nframes):
+    c, r, p = _sizes(nframes)
+    result = run_point(ssd_server, "C-trad", nframes)
+    # Streaming inflation: ~half the compressed buffer resident at peak,
+    # plus the half-step excess (each step allocates before it shrinks).
+    expected = r + c / 2 + c / (2 * DECOMPRESS_STEPS)
+    assert result.peak_memory_nbytes == pytest.approx(expected, rel=0.005)
+
+
+@settings(max_examples=8, deadline=None)
+@given(nframes=st.integers(100, 20_000))
+def test_property_d_path_peak_formula(nframes):
+    c, r, p = _sizes(nframes)
+    result = run_point(ssd_server, "D-trad", nframes)
+    assert result.peak_memory_nbytes == pytest.approx(
+        r + RENDER_SCRATCH * p, rel=0.01
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(nframes=st.integers(100, 20_000))
+def test_property_ada_all_peak_formula(nframes):
+    c, r, p = _sizes(nframes)
+    result = run_point(ssd_server, "D-ada-all", nframes)
+    assert result.peak_memory_nbytes == pytest.approx(
+        r * (1 + MERGE_SCRATCH), rel=0.01
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(nframes=st.integers(100, 20_000))
+def test_property_ada_protein_peak_formula(nframes):
+    c, r, p = _sizes(nframes)
+    result = run_point(ssd_server, "D-ada-p", nframes)
+    assert result.peak_memory_nbytes == pytest.approx(
+        p * (1 + RENDER_SCRATCH), rel=0.01
+    )
+
+
+def test_formula_constants_pin_fig10_thresholds():
+    """The published constants themselves imply the paper's kill points."""
+    from repro.units import GB
+
+    capacity = 1007 * GB
+    d_surv = SizingModel.paper().dataset(1_564_000)
+    d_kill = SizingModel.paper().dataset(1_876_800)
+    # C path.
+    assert d_surv.raw_nbytes + d_surv.compressed_nbytes / 2 < capacity
+    assert d_kill.raw_nbytes + d_kill.compressed_nbytes / 2 > capacity
+    # ADA(all).
+    assert d_surv.raw_nbytes * (1 + MERGE_SCRATCH) < capacity
+    assert d_kill.raw_nbytes * (1 + MERGE_SCRATCH) > capacity
+    # ADA(protein).
+    d_ok = SizingModel.paper().dataset(4_379_200)
+    d_dead = SizingModel.paper().dataset(5_004_800)
+    assert d_ok.protein_nbytes * (1 + RENDER_SCRATCH) < capacity
+    assert d_dead.protein_nbytes * (1 + RENDER_SCRATCH) > capacity

@@ -1,0 +1,50 @@
+"""Tests for the multi-client harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import run_point, small_cluster, ssd_server
+from repro.harness.multiclient import run_concurrent
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        run_concurrent(ssd_server, "D-trad", 626, 0)
+    with pytest.raises(ConfigurationError):
+        run_concurrent(ssd_server, "Z-nope", 626, 1)
+
+
+def test_single_client_matches_run_point():
+    solo = run_point(small_cluster, "D-ada-p", 6_256)
+    one = run_concurrent(small_cluster, "D-ada-p", 6_256, 1)
+    assert one.makespan_s == pytest.approx(solo.turnaround_s, rel=0.01)
+    assert one.killed_clients == 0
+    assert one.stretch == pytest.approx(1.0)
+
+
+def test_makespan_grows_with_clients():
+    results = [
+        run_concurrent(small_cluster, "D-trad", 6_256, k) for k in (1, 2, 4)
+    ]
+    spans = [r.makespan_s for r in results]
+    assert spans == sorted(spans)
+    assert results[2].stretch > results[0].stretch
+
+
+def test_ada_contention_milder_than_traditional():
+    trad = run_concurrent(small_cluster, "D-trad", 6_256, 8)
+    ada = run_concurrent(small_cluster, "D-ada-p", 6_256, 8)
+    assert trad.makespan_s / ada.makespan_s > 3.0
+    # Absolute contention penalty is far smaller for ADA clients.
+    trad1 = run_concurrent(small_cluster, "D-trad", 6_256, 1)
+    ada1 = run_concurrent(small_cluster, "D-ada-p", 6_256, 1)
+    assert (trad.makespan_s - trad1.makespan_s) > 3 * (
+        ada.makespan_s - ada1.makespan_s
+    )
+
+
+def test_memory_scaled_per_client():
+    """Eight C-path clients on one 16 GiB node would OOM if memory were
+    not scaled to model distinct nodes."""
+    result = run_concurrent(ssd_server, "C-trad", 5_006, 8)
+    assert result.killed_clients == 0

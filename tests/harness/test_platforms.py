@@ -1,0 +1,92 @@
+"""Tests for the three platform factories (Tables 4 and 5)."""
+
+import pytest
+
+from repro.harness import fat_node, small_cluster, ssd_server
+from repro.units import GB, mbps
+
+
+def test_ssd_server_shape():
+    p = ssd_server()
+    assert p.compute.cpu.name.startswith("Xeon-E5")
+    assert sorted(p.ada.plfs.backends) == ["nvme0", "nvme1"]
+    assert p.traditional_fs.flavor == "ext4"
+    assert p.traditional_request_size is None
+    assert p.storage_nodes == []
+
+
+def test_ssd_server_placement_two_locations():
+    p = ssd_server()
+    assert p.ada.placement.backend_for("p") == "nvme0"
+    assert p.ada.placement.backend_for("m") == "nvme1"
+
+
+def test_cluster_shape():
+    p = small_cluster()
+    assert len(p.storage_nodes) == 6
+    assert len(p.traditional_fs.targets) == 6  # hybrid stripe pool
+    assert sorted(p.ada.plfs.backends) == ["hdd-pool", "ssd-pool"]
+    assert len(p.ada.plfs.backends["ssd-pool"].targets) == 3
+    assert p.traditional_request_size == 64 * 1024
+
+
+def test_cluster_node_devices_are_two_drive_arrays():
+    p = small_cluster()
+    hdd = p.ada.plfs.backends["hdd-pool"].targets[0].device
+    # Two WD drives per node: 252 MB/s aggregate (Table 4: 126 MB/s each).
+    assert hdd.spec.read_bw == pytest.approx(mbps(252.0))
+
+
+def test_cluster_links_are_infiniband():
+    p = small_cluster()
+    for target in p.traditional_fs.targets:
+        assert target.link is not None
+        assert target.link.spec.bandwidth > mbps(5000)
+
+
+def test_fat_node_shape():
+    p = fat_node()
+    assert p.compute.cpu.name.startswith("Xeon-E7")
+    assert p.compute.memory.capacity == pytest.approx(1007 * GB)
+    assert p.traditional_fs.flavor == "xfs"
+    # RAID 50 of 10 WD drives: 8 data spindles.
+    assert p.traditional_fs.device.spec.read_bw == pytest.approx(mbps(8 * 126))
+
+
+def test_fat_node_single_tier_placement():
+    p = fat_node()
+    assert p.ada.placement.backend_for("p") == "raid"
+    assert p.ada.placement.backend_for("m") == "raid"
+
+
+def test_parameters_table():
+    rows = dict(small_cluster().parameters())
+    assert rows["Storage nodes"] == "6"
+    assert "Xeon-E5" in rows["CPU"]
+
+
+def test_device_inventory_lists_both_media():
+    rows = small_cluster().device_inventory()
+    text = " ".join(r[0] for r in rows)
+    assert "hdd" in text and "ssd" in text
+    # Table 4's numbers show through: 2x126 MB/s HDD nodes.
+    assert any("252" in r[1] for r in rows)
+
+
+def test_fat_node_inventory_shows_raid():
+    rows = fat_node().device_inventory()
+    assert any("raid50" in r[0] for r in rows)
+    assert any("1,008" in r[1] for r in rows)  # 8 x 126 MB/s
+
+
+def test_cluster_storage_cpus_attached():
+    p = small_cluster()
+    assert len(p.ada.storage_cpus) == 6
+    assert p.ada.storage_cpu is p.ada.storage_cpus[0]
+
+
+def test_fresh_platforms_are_independent():
+    a, b = ssd_server(), ssd_server()
+    assert a.sim is not b.sim
+    a.compute.memory.allocate("x", 1 * GB)
+    assert b.compute.memory.in_use == 0

@@ -1,0 +1,56 @@
+"""Seed soak: the materialized pipeline holds its invariants across many
+random worlds, not just the fixture seeds the other tests use."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADA
+from repro.formats import decode_xtc, write_pdb
+from repro.fs import LocalFS
+from repro.sim import Simulator
+from repro.storage import NVME_SSD_256GB, WD_1TB_HDD
+from repro.vmd import VMDSession
+from repro.workloads import build_workload
+
+
+@pytest.mark.parametrize("seed", [0, 17, 99, 512, 2024])
+def test_pipeline_invariants_across_seeds(seed):
+    workload = build_workload(
+        natoms=1000 + 37 * seed % 900,
+        nframes=4 + seed % 5,
+        protein_fraction=0.40 + (seed % 10) / 100.0,
+        seed=seed,
+    )
+    # Codec invariants.
+    ratio = workload.raw_nbytes / workload.compressed_nbytes
+    assert 2.0 < ratio < 6.0
+    decoded = decode_xtc(workload.xtc_blob)
+    assert decoded.nframes == workload.trajectory.nframes
+    assert np.abs(decoded.coords - workload.trajectory.coords).max() < 0.011
+
+    # ADA invariants.
+    sim = Simulator()
+    ada = ADA(
+        sim,
+        backends={
+            "ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd"),
+            "hdd": LocalFS(sim, WD_1TB_HDD, name="hdd"),
+        },
+    )
+    receipt = sim.run_process(
+        ada.ingest("soak.xtc", workload.pdb_text, workload.xtc_blob)
+    )
+    label_map = ada.label_map("soak.xtc")
+    label_map.validate()
+    assert label_map.natoms == workload.system.natoms
+    # Subset byte fractions track atom fractions.
+    p_frac = receipt.subset_sizes["p"] / sum(receipt.subset_sizes.values())
+    assert p_frac == pytest.approx(label_map.fraction("p"), abs=0.01)
+
+    # Load-and-merge returns the decompressed original.
+    session = VMDSession(ada=ada)
+    session.mol_new(workload.pdb_text)
+    session.mol_addfile_all("soak.xtc")
+    np.testing.assert_allclose(
+        session.top.trajectory.coords, decoded.coords, atol=1e-5
+    )

@@ -1,0 +1,42 @@
+"""Tests for network links."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import INFINIBAND_FDR, Link, LinkSpec, TEN_GBE
+from repro.sim import Simulator
+from repro.units import GB, MB
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        LinkSpec(name="bad", bandwidth=0.0, latency_s=1e-6)
+    with pytest.raises(ConfigurationError):
+        LinkSpec(name="bad", bandwidth=1e9, latency_s=-1.0)
+
+
+def test_transfer_time():
+    spec = LinkSpec(name="l", bandwidth=1 * GB, latency_s=1e-3)
+    assert spec.transfer_time(1 * GB) == pytest.approx(1.001)
+    assert spec.transfer_time(1 * GB, messages=10) == pytest.approx(1.010)
+
+
+def test_infiniband_is_not_the_bottleneck():
+    """Paper: 'raw data transferring is not a performance bottleneck' --
+    the fabric outruns even three striped HDD nodes."""
+    from repro.storage import WD_1TB_HDD
+
+    nbytes = 3 * GB
+    assert INFINIBAND_FDR.transfer_time(nbytes) < WD_1TB_HDD.read_time(nbytes) / 10
+    assert INFINIBAND_FDR.bandwidth > 5 * TEN_GBE.bandwidth
+
+
+def test_link_serializes_transfers():
+    sim = Simulator()
+    link = Link(sim, LinkSpec(name="l", bandwidth=100 * MB, latency_s=0.0))
+    sim.process(link.transfer(100 * MB))
+    sim.process(link.transfer(100 * MB))
+    sim.run()
+    assert sim.now == pytest.approx(2.0)
+    assert link.bytes_moved == pytest.approx(200 * MB)
+    assert link.busy.union_time() == pytest.approx(2.0)

@@ -1,0 +1,296 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 2.5
+    assert sim.now == 2.5
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        yield sim.timeout(0.5)
+
+    sim.run_process(proc(sim))
+    assert sim.now == pytest.approx(3.5)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_delivers_value():
+    sim = Simulator()
+
+    def proc(sim):
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    assert sim.run_process(proc(sim)) == "payload"
+
+
+def test_parallel_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def worker(sim, name, delay):
+        yield sim.timeout(delay)
+        log.append((sim.now, name))
+
+    sim.process(worker(sim, "slow", 3.0))
+    sim.process(worker(sim, "fast", 1.0))
+    sim.run()
+    assert log == [(1.0, "fast"), (3.0, "slow")]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    log = []
+
+    def worker(sim, name):
+        yield sim.timeout(1.0)
+        log.append(name)
+
+    for name in "abc":
+        sim.process(worker(sim, name))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(4.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return (sim.now, result)
+
+    assert sim.run_process(parent(sim)) == (4.0, "child-result")
+
+
+def test_process_return_value_none_by_default():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0.0)
+
+    assert sim.run_process(proc(sim)) is None
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    gate = sim.event()
+    results = []
+
+    def waiter(sim, gate):
+        value = yield gate
+        results.append((sim.now, value))
+
+    def opener(sim, gate):
+        yield sim.timeout(5.0)
+        gate.succeed(42)
+
+    sim.process(waiter(sim, gate))
+    sim.process(opener(sim, gate))
+    sim.run()
+    assert results == [(5.0, 42)]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter(sim, gate):
+        yield gate
+
+    proc = sim.process(waiter(sim, gate))
+    gate.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+    assert not proc.ok or proc.triggered
+
+
+def test_waiting_on_already_triggered_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+
+    def proc(sim, ev):
+        value = yield ev
+        return value
+
+    assert sim.run_process(proc(sim, ev)) == "early"
+
+
+def test_all_of_barrier():
+    sim = Simulator()
+
+    def worker(sim, delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def parent(sim):
+        procs = [sim.process(worker(sim, d)) for d in (3.0, 1.0, 2.0)]
+        values = yield AllOf(sim, procs)
+        return (sim.now, values)
+
+    now, values = sim.run_process(parent(sim))
+    assert now == 3.0  # barrier waits for slowest
+    assert values == [3.0, 1.0, 2.0]  # in constructor order
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def parent(sim):
+        values = yield AllOf(sim, [])
+        return (sim.now, values)
+
+    assert sim.run_process(parent(sim)) == (0.0, [])
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def worker(sim, delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def parent(sim):
+        procs = [sim.process(worker(sim, d)) for d in (3.0, 1.0)]
+        first = yield AnyOf(sim, procs)
+        return (sim.now, first)
+
+    assert sim.run_process(parent(sim)) == (1.0, 1.0)
+
+
+def test_exception_in_process_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inner failure")
+
+    def parent(sim):
+        try:
+            yield sim.process(bad(sim))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert sim.run_process(parent(sim)) == "caught inner failure"
+
+
+def test_unwatched_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("unwatched")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="unwatched"):
+        sim.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_run_until_pauses_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+
+    sim.process(proc(sim))
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_process_detects_deadlock():
+    sim = Simulator()
+    gate = sim.event()  # never triggered
+
+    def stuck(sim, gate):
+        yield gate
+
+    with pytest.raises(SimulationError, match="never completed"):
+        sim.run_process(stuck(sim, gate))
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    sim.run_process(proc(sim))
+    assert sim.events_processed >= 3
+
+
+def test_nested_fan_out_fan_in():
+    """A striped-read-shaped pattern: parent spawns N children, waits for all."""
+    sim = Simulator()
+
+    def stripe(sim, idx):
+        yield sim.timeout(1.0 + idx * 0.5)
+        return idx
+
+    def read(sim, n):
+        procs = [sim.process(stripe(sim, i)) for i in range(n)]
+        values = yield AllOf(sim, procs)
+        return values
+
+    assert sim.run_process(read(sim, 4)) == [0, 1, 2, 3]
+    assert sim.now == pytest.approx(1.0 + 3 * 0.5)

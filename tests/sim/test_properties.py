@@ -1,0 +1,71 @@
+"""Property-based tests for the DES kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, Resource, Simulator
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+def test_property_barrier_time_is_max_delay(delays):
+    """A fan-out/fan-in of timeouts completes at exactly max(delays)."""
+    sim = Simulator()
+
+    def worker(sim, d):
+        yield sim.timeout(d)
+
+    def parent(sim):
+        procs = [sim.process(worker(sim, d)) for d in delays]
+        yield AllOf(sim, procs)
+
+    sim.run_process(parent(sim))
+    assert abs(sim.now - max(delays)) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    holds=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=15),
+    capacity=st.integers(1, 4),
+)
+def test_property_resource_never_oversubscribed(holds, capacity):
+    """At no point do more than ``capacity`` holders run concurrently, and
+    total makespan is bounded by the list-scheduling envelope."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    concurrency = {"now": 0, "peak": 0}
+
+    def worker(sim, res, hold):
+        with res.request() as req:
+            yield req
+            concurrency["now"] += 1
+            concurrency["peak"] = max(concurrency["peak"], concurrency["now"])
+            yield sim.timeout(hold)
+            concurrency["now"] -= 1
+
+    for hold in holds:
+        sim.process(worker(sim, res, hold))
+    sim.run()
+    assert concurrency["peak"] <= capacity
+    # List-scheduling bounds: work/capacity <= makespan <= work/cap + max.
+    work = sum(holds)
+    assert sim.now >= work / capacity - 1e-9
+    assert sim.now <= work / capacity + max(holds) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=25))
+def test_property_clock_is_monotone(delays):
+    """Observed event times never decrease."""
+    sim = Simulator()
+    seen = []
+
+    def worker(sim, d):
+        yield sim.timeout(d)
+        seen.append(sim.now)
+
+    for d in delays:
+        sim.process(worker(sim, d))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)

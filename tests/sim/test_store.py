@@ -1,0 +1,127 @@
+"""Tests for the producer/consumer Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.store import Store
+
+
+def test_capacity_validated():
+    with pytest.raises(SimulationError):
+        Store(Simulator(), capacity=0)
+
+
+def test_put_then_get_immediate():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+
+    def proc():
+        yield from store.put("a")
+        yield from store.put("b")
+        first = yield from store.get()
+        second = yield from store.get()
+        return (first, second)
+
+    assert sim.run_process(proc()) == ("a", "b")
+    assert store.puts == 2 and store.gets == 2
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield from store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(3.0)
+        yield from store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(3.0, "late")]
+
+
+def test_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer():
+        yield from store.put(1)
+        start = sim.now
+        yield from store.put(2)  # blocks until consumer drains
+        times.append((start, sim.now))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        yield from store.get()
+        yield from store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert times == [(0.0, 5.0)]
+
+
+def test_fifo_ordering_under_contention():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    received = []
+
+    def producer():
+        for i in range(6):
+            yield from store.put(i)
+            yield sim.timeout(0.1)
+
+    def consumer():
+        for _ in range(6):
+            item = yield from store.get()
+            received.append(item)
+            yield sim.timeout(0.3)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == list(range(6))
+
+
+def test_pipeline_overlap_speedup():
+    """The textbook result: two-stage pipelining approaches max(stage)
+    instead of sum(stages)."""
+
+    def run(pipelined):
+        sim = Simulator()
+        store = Store(sim, capacity=1 if pipelined else 10**9)
+        chunks = 10
+        read_t, ship_t = 1.0, 0.8
+
+        def reader():
+            for i in range(chunks):
+                yield sim.timeout(read_t)
+                yield from store.put(i)
+
+        def shipper():
+            for _ in range(chunks):
+                yield from store.get()
+                yield sim.timeout(ship_t)
+
+        if pipelined:
+            sim.process(reader())
+            sim.process(shipper())
+            sim.run()
+        else:
+            # Store-and-forward: read everything, then ship everything.
+            sim.run_process(reader())
+            sim.run_process(shipper())
+        return sim.now
+
+    sequential = run(pipelined=False)
+    overlapped = run(pipelined=True)
+    assert sequential == pytest.approx(18.0)
+    assert overlapped == pytest.approx(1.0 + 10 * 1.0 - 1.0 + 0.8, abs=0.5)
+    assert overlapped < 0.65 * sequential

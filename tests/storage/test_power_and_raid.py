@@ -1,0 +1,78 @@
+"""Tests for power envelopes and RAID composition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage import (
+    DevicePower,
+    NodePower,
+    WD_1TB_HDD,
+    raid0_spec,
+    raid50_spec,
+)
+
+
+def test_device_power_validation():
+    with pytest.raises(ConfigurationError):
+        DevicePower(active_w=1.0, idle_w=2.0)
+
+
+def test_device_power_energy():
+    p = DevicePower(active_w=10.0, idle_w=2.0)
+    # 3 s active + 7 s idle.
+    assert p.energy(busy_s=3.0, wall_s=10.0) == pytest.approx(30 + 14)
+
+
+def test_device_power_busy_exceeds_wall_rejected():
+    with pytest.raises(ConfigurationError):
+        DevicePower(active_w=10.0, idle_w=2.0).energy(busy_s=2.0, wall_s=1.0)
+
+
+def test_node_power_energy_components():
+    p = NodePower(idle_w=400.0, cpu_active_w=200.0, io_active_w=100.0)
+    e = p.energy(wall_s=10.0, cpu_busy_s=4.0, io_busy_s=2.0)
+    assert e == pytest.approx(4000 + 800 + 200)
+    assert p.peak_w == 700.0
+
+
+def test_node_power_busy_clamped_to_wall():
+    p = NodePower(idle_w=100.0, cpu_active_w=50.0)
+    assert p.energy(wall_s=1.0, cpu_busy_s=5.0) == pytest.approx(150.0)
+
+
+def test_node_power_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        NodePower(idle_w=-1.0, cpu_active_w=0.0)
+
+
+def test_raid0_scales_everything():
+    arr = raid0_spec(WD_1TB_HDD, 4)
+    assert arr.read_bw == pytest.approx(4 * WD_1TB_HDD.read_bw)
+    assert arr.capacity == pytest.approx(4 * WD_1TB_HDD.capacity)
+
+
+def test_raid0_needs_two():
+    with pytest.raises(ConfigurationError):
+        raid0_spec(WD_1TB_HDD, 1)
+
+
+def test_raid50_data_spindles():
+    """The paper's fat node: 10 WD HDDs in RAID 50 => 8 data spindles."""
+    arr = raid50_spec(WD_1TB_HDD, n_members=10, spans=2)
+    assert arr.read_bw == pytest.approx(8 * WD_1TB_HDD.read_bw)
+    assert arr.capacity == pytest.approx(8 * WD_1TB_HDD.capacity)
+    assert arr.write_bw < arr.read_bw  # parity penalty
+
+
+def test_raid50_validation():
+    with pytest.raises(ConfigurationError):
+        raid50_spec(WD_1TB_HDD, n_members=10, spans=3)  # not divisible
+    with pytest.raises(ConfigurationError):
+        raid50_spec(WD_1TB_HDD, n_members=4, spans=2)  # spans too small
+    with pytest.raises(ConfigurationError):
+        raid50_spec(WD_1TB_HDD, n_members=10, spans=1)
+
+
+def test_raid50_power_counts_all_members():
+    arr = raid50_spec(WD_1TB_HDD, n_members=10, spans=2)
+    assert arr.power.idle_w == pytest.approx(10 * WD_1TB_HDD.power.idle_w)

@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import GENERATORS, main
+
+
+def test_list_prints_targets(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(GENERATORS)
+
+
+def test_table2_to_stdout(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "5,006" in out
+
+
+def test_table6_rows(capsys):
+    assert main(["table6"]) == 0
+    out = capsys.readouterr().out
+    assert "1,876,800" in out
+    # ~979.8 GB raw at the kill point (model rounds to ~980).
+    assert "980." in out or "979." in out
+
+
+def test_output_file(tmp_path, capsys):
+    target = tmp_path / "t2.txt"
+    assert main(["table2", "-o", str(target)]) == 0
+    assert "Table 2" in target.read_text()
+
+
+def test_all_writes_directory(tmp_path):
+    # Keep it cheap: patch out the slow generators.
+    import repro.cli as cli
+
+    originals = dict(cli.GENERATORS)
+    try:
+        for name in list(cli.GENERATORS):
+            if name not in ("table2", "table6"):
+                cli.GENERATORS[name] = lambda name=name: f"stub {name}"
+        assert main(["all", "-d", str(tmp_path)]) == 0
+        written = {p.name for p in tmp_path.iterdir()}
+        assert written == {f"{n}.txt" for n in cli.GENERATORS}
+    finally:
+        cli.GENERATORS.clear()
+        cli.GENERATORS.update(originals)
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_fig7_generator_output():
+    text = GENERATORS["fig7"]()
+    assert "turnaround by frame count" in text
+    assert "D-ADA (protein)" in text
+
+
+def test_calibration_generator_output():
+    text = GENERATORS["calibration"]()
+    assert "compression ratio" in text

@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Executed in-process via runpy so failures carry real tracebacks; stdout is
+captured and spot-checked for each example's headline output.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ("memory at peak", "cache hit rate"),
+    "cluster_pipeline.py": ("headlines @6,256 frames", "paper: 9x"),
+    "fatnode_energy.py": ("OOM kills", "killed at 1,876,800 frames"),
+    "fine_grained_tags.py": ("per-class subsets", "lipid bilayer alone"),
+    "custom_policy.py": ("hot tier holds", "cold"),
+    "simulation_to_ada.py": ("streamed", "radius of gyration"),
+    "posix_interposer.py": ("trapped at close", "rasterized frame"),
+    "analysis_workflow.py": ("zero decompression", "time-series CSV"),
+    "generic_application.py": ("quick look from", "bit-exact"),
+}
+
+
+def test_every_example_has_a_smoke_test():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(CASES)
+
+
+@pytest.mark.parametrize("name,expected", sorted(CASES.items()))
+def test_example_runs(name, expected, capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # examples may write artifacts (PGM images)
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    for fragment in expected:
+        assert fragment in out, f"{name}: missing {fragment!r} in output"

@@ -1,0 +1,153 @@
+"""Fuzz hardening: parsers must fail *typed*, never crash.
+
+Every entry point that consumes untrusted bytes/text (PDB, XTC, DCD, TRR,
+label files, structure files, selection expressions, console commands)
+must either succeed or raise its documented exception class.  Anything
+else -- IndexError, struct.error, UnicodeDecodeError, segfault-adjacent
+numpy errors -- is a bug these tests exist to catch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Decompressor, LabelMap
+from repro.core.generic import RecordStructure
+from repro.errors import (
+    CodecError,
+    ConfigurationError,
+    LabelIndexError,
+    TopologyError,
+)
+from repro.formats import parse_pdb
+from repro.formats.dcd import decode_dcd
+from repro.formats.pdb import parse_pdb_models
+from repro.formats.trr import decode_trr
+from repro.formats.xtc import decode_raw, decode_xtc
+from repro.vmd import SelectionError, select_mask
+from repro.workloads import build_workload
+
+SETTINGS = dict(max_examples=80, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(text=st.text(max_size=400))
+def test_fuzz_parse_pdb_random_text(text):
+    try:
+        topo, coords = parse_pdb(text)
+        assert coords.shape == (topo.natoms, 3)
+    except TopologyError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(
+    text=st.text(
+        alphabet="ATOMHET 0123456789.ALAX\n", min_size=10, max_size=400
+    )
+)
+def test_fuzz_parse_pdb_atomish_text(text):
+    """Text biased toward ATOM-looking lines still fails cleanly."""
+    try:
+        parse_pdb(text)
+    except TopologyError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(text=st.text(max_size=300))
+def test_fuzz_parse_pdb_models(text):
+    try:
+        parse_pdb_models(text)
+    except TopologyError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(blob=st.binary(max_size=300))
+def test_fuzz_decoders_random_bytes(blob):
+    for decoder in (decode_xtc, decode_raw, decode_dcd, decode_trr):
+        try:
+            decoder(blob)
+        except CodecError:
+            pass
+
+
+@settings(**SETTINGS)
+@given(blob=st.binary(max_size=200), cut=st.integers(0, 200))
+def test_fuzz_truncated_real_xtc(blob, cut):
+    """A real stream truncated/extended anywhere fails typed."""
+    real = build_workload(natoms=300, nframes=2, seed=0).xtc_blob
+    mutant = real[: min(cut, len(real))] + blob
+    try:
+        decode_xtc(mutant)
+    except CodecError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(blob=st.binary(max_size=300))
+def test_fuzz_label_map_from_bytes(blob):
+    try:
+        LabelMap.from_bytes(blob)
+    except LabelIndexError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(blob=st.binary(max_size=300))
+def test_fuzz_record_structure_from_bytes(blob):
+    try:
+        RecordStructure.from_bytes(blob)
+    except ConfigurationError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(blob=st.binary(min_size=8, max_size=200))
+def test_fuzz_decompressor_sniff(blob):
+    d = Decompressor()
+    try:
+        d.sniff(blob)
+    except CodecError:
+        pass
+
+
+_SELECTION_ALPHABET = (
+    "protein water lipid name CA resid index to and or not within of ( ) "
+    "5 -3 x.y"
+).split()
+
+
+@settings(**SETTINGS)
+@given(tokens=st.lists(st.sampled_from(_SELECTION_ALPHABET), max_size=12))
+def test_fuzz_selection_parser(tokens):
+    from repro.formats import Topology
+
+    topo = Topology(
+        names=["CA", "OH2"], resnames=["ALA", "TIP3"], resids=[1, 2]
+    )
+    coords = np.zeros((2, 3), dtype=np.float32)
+    try:
+        mask = select_mask(topo, " ".join(tokens), coords=coords)
+        assert mask.shape == (2,)
+        assert mask.dtype == bool
+    except SelectionError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(text=st.text(max_size=120))
+def test_fuzz_console_commands(text):
+    from repro.errors import ReproError
+    from repro.vmd import VMDSession
+    from repro.vmd.console import VMDConsole
+
+    console = VMDConsole(VMDSession())
+    try:
+        console.execute(text)
+    except ReproError:
+        pass  # CommandError / ConfigurationError / SelectionError families
+    except ValueError:
+        pass  # shlex quote errors and int() of command operands

@@ -1,0 +1,96 @@
+"""Tests for unit helpers and whole-model determinism."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    KiB,
+    MB,
+    fmt_bytes,
+    fmt_seconds,
+    gbps,
+    mbps,
+    to_gb,
+    to_kj,
+    to_mb,
+)
+
+
+def test_byte_constants():
+    assert MB == 10**6
+    assert GB == 10**9
+    assert KiB == 1024
+
+
+def test_conversions_roundtrip():
+    assert to_mb(mbps(126.0)) == pytest.approx(126.0)
+    assert to_gb(gbps(6.8)) == pytest.approx(6.8)
+    assert to_kj(12_500_000) == pytest.approx(12_500)
+
+
+@pytest.mark.parametrize(
+    "nbytes,expected",
+    [
+        (512, "512 B"),
+        (2_500, "2.50 KB"),
+        (100 * MB, "100.00 MB"),
+        (1_306 * MB, "1.31 GB"),
+        (2.6128e12, "2.61 TB"),
+    ],
+)
+def test_fmt_bytes(nbytes, expected):
+    assert fmt_bytes(nbytes) == expected
+
+
+@pytest.mark.parametrize(
+    "seconds,expected",
+    [
+        (1.5e-6, "1.5 us"),
+        (0.0134, "13.4 ms"),
+        (2.41, "2.41 s"),
+        (317.2 * 60, "5.29 h"),
+        (96.3, "1.60 min"),
+    ],
+)
+def test_fmt_seconds(seconds, expected):
+    assert fmt_seconds(seconds) == expected
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_modeled_sweep_is_deterministic():
+    """Two identical sweeps produce bit-identical results -- the whole
+    reproduction is a pure function of its configuration."""
+    from repro.harness import run_sweep, ssd_server
+
+    a = run_sweep(ssd_server, (626, 5_006), scenario_keys=("C-trad", "D-ada-p"))
+    b = run_sweep(ssd_server, (626, 5_006), scenario_keys=("C-trad", "D-ada-p"))
+    for x, y in zip(a, b):
+        assert x == y
+
+
+def test_materialized_pipeline_deterministic():
+    from repro.workloads import build_workload
+
+    a = build_workload(natoms=1500, nframes=5, seed=3)
+    b = build_workload(natoms=1500, nframes=5, seed=3)
+    assert a.xtc_blob == b.xtc_blob
+    assert a.pdb_text == b.pdb_text
+
+
+def test_simulator_event_count_deterministic():
+    from repro.harness import run_point, small_cluster
+
+    counts = set()
+    for _ in range(2):
+        platform_holder = {}
+
+        def factory():
+            p = small_cluster()
+            platform_holder["p"] = p
+            return p
+
+        run_point(factory, "D-trad", 6_256)
+        counts.add(platform_holder["p"].sim.events_processed)
+    assert len(counts) == 1

@@ -1,0 +1,129 @@
+"""Tests for molecules and geometry building."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_gpcr_system, generate_trajectory
+from repro.errors import TopologyError
+from repro.formats import Topology, Trajectory
+from repro.vmd import GeometryBuilder, Molecule, build_bonds
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_gpcr_system(natoms_target=1000, seed=21)
+
+
+@pytest.fixture(scope="module")
+def trajectory(system):
+    return generate_trajectory(system, nframes=5, seed=22)
+
+
+def test_molecule_starts_empty(system):
+    mol = Molecule(0, "gpcr", system.topology)
+    assert mol.num_frames == 0
+    assert mol.frame_nbytes == 0
+    with pytest.raises(TopologyError):
+        mol.frame_coords(0)
+
+
+def test_add_frames_full_structure(system, trajectory):
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(trajectory)
+    assert mol.num_frames == 5
+    assert mol.loaded_natoms == system.natoms
+    assert mol.frame_nbytes == trajectory.nbytes
+
+
+def test_add_frames_appends(system, trajectory):
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(trajectory)
+    mol.add_frames(trajectory)
+    assert mol.num_frames == 10
+
+
+def test_add_frames_atom_mismatch_rejected(system, trajectory):
+    mol = Molecule(0, "gpcr", system.topology)
+    with pytest.raises(TopologyError):
+        mol.add_frames(trajectory.select_atoms(np.arange(10)))
+
+
+def test_subset_frames_with_indices(system, trajectory):
+    idx = system.topology.class_indices(system.topology.classes[0].__class__(0))
+    idx = np.arange(50)
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(trajectory.select_atoms(idx), atom_indices=idx)
+    assert mol.loaded_natoms == 50
+    assert mol.loaded_topology().natoms == 50
+
+
+def test_cannot_mix_coverages(system, trajectory):
+    idx = np.arange(50)
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(trajectory.select_atoms(idx), atom_indices=idx)
+    with pytest.raises(TopologyError, match="mix"):
+        mol.add_frames(trajectory)
+
+
+# -- bonds / geometry ---------------------------------------------------------
+
+
+def test_build_bonds_sequential_heuristic():
+    topo = Topology(
+        names=["N", "CA", "C", "OH2"],
+        resnames=["ALA", "ALA", "ALA", "TIP3"],
+        resids=[1, 1, 1, 2],
+    )
+    coords = np.array(
+        [[0, 0, 0], [1.5, 0, 0], [3.0, 0, 0], [50, 50, 50]], dtype=np.float32
+    )
+    bonds = build_bonds(topo, coords)
+    # N-CA and CA-C bond; no bond across the residue boundary.
+    np.testing.assert_array_equal(bonds, [[0, 1], [1, 2]])
+
+
+def test_build_bonds_respects_cutoff():
+    topo = Topology(names=["C1", "C2"], resnames=["LIG"] * 2, resids=[1, 1])
+    far = np.array([[0, 0, 0], [5, 0, 0]], dtype=np.float32)
+    assert build_bonds(topo, far).shape == (0, 2)
+
+
+def test_build_bonds_single_atom():
+    topo = Topology(names=["NA"], resnames=["SOD"], resids=[1])
+    assert build_bonds(topo, np.zeros((1, 3), np.float32)).shape == (0, 2)
+
+
+def test_build_bonds_shape_validated(system):
+    with pytest.raises(TopologyError):
+        build_bonds(system.topology, np.zeros((3, 3), np.float32))
+
+
+def test_geometry_builder_renders_frames(system, trajectory):
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(trajectory)
+    builder = GeometryBuilder(mol)
+    geo = builder.render_frame(0)
+    assert geo.nsegments == builder.bonds.shape[0]
+    assert geo.segments.shape == (geo.nsegments, 2, 3)
+    assert geo.radius_of_gyration > 0
+    assert np.all(geo.bounds_max >= geo.bounds_min)
+
+
+def test_geometry_differs_between_frames(system, trajectory):
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(trajectory)
+    builder = GeometryBuilder(mol)
+    g0, g4 = builder.render_frame(0), builder.render_frame(4)
+    assert not np.allclose(g0.center_of_mass, g4.center_of_mass)
+
+
+def test_render_all(system, trajectory):
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(trajectory)
+    frames = GeometryBuilder(mol).render_all()
+    assert len(frames) == 5
+
+
+def test_render_needs_frames(system):
+    with pytest.raises(TopologyError):
+        GeometryBuilder(Molecule(0, "empty", system.topology))

@@ -1,0 +1,83 @@
+"""Tests for the software rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_gpcr_system, generate_trajectory
+from repro.errors import TopologyError
+from repro.vmd import GeometryBuilder, Molecule
+from repro.vmd.raster import rasterize, render_frame_image, to_pgm
+
+
+@pytest.fixture(scope="module")
+def molecule():
+    system = build_gpcr_system(natoms_target=1200, seed=97)
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(generate_trajectory(system, nframes=3, seed=98))
+    return mol
+
+
+@pytest.fixture(scope="module")
+def geometry(molecule):
+    return GeometryBuilder(molecule).render_frame(0)
+
+
+def test_canvas_shape_and_dtype(geometry):
+    canvas = rasterize(geometry, width=100, height=80)
+    assert canvas.shape == (80, 100)
+    assert canvas.dtype == np.uint8
+
+
+def test_something_was_drawn(geometry):
+    canvas = rasterize(geometry)
+    assert (canvas > 0).sum() > 100
+
+
+def test_deterministic(geometry):
+    a = rasterize(geometry)
+    b = rasterize(geometry)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_axis_changes_view(geometry):
+    front = rasterize(geometry, axis=2)
+    side = rasterize(geometry, axis=0)
+    assert not np.array_equal(front, side)
+
+
+def test_validation(geometry):
+    with pytest.raises(TopologyError):
+        rasterize(geometry, width=1)
+    with pytest.raises(TopologyError):
+        rasterize(geometry, axis=5)
+
+
+def test_empty_geometry_blank_canvas(geometry):
+    from repro.vmd.render import FrameGeometry
+
+    empty = FrameGeometry(
+        segments=np.empty((0, 2, 3)),
+        center_of_mass=np.zeros(3),
+        radius_of_gyration=0.0,
+        bounds_min=np.zeros(3),
+        bounds_max=np.ones(3),
+    )
+    assert rasterize(empty).sum() == 0
+
+
+def test_pgm_serialization(geometry):
+    canvas = rasterize(geometry, width=10, height=6)
+    text = to_pgm(canvas)
+    lines = text.splitlines()
+    assert lines[0] == "P2"
+    assert lines[1] == "10 6"
+    assert lines[2] == "255"
+    assert len(lines) == 3 + 6
+    with pytest.raises(TopologyError):
+        to_pgm(np.zeros((2, 2, 3)))
+
+
+def test_render_frame_image_end_to_end(molecule):
+    canvas, pgm = render_frame_image(molecule, iframe=1, width=64, height=48)
+    assert canvas.shape == (48, 64)
+    assert pgm.startswith("P2\n64 48")

@@ -1,0 +1,85 @@
+"""Tests for render representations (lines / vdw / trace)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_gpcr_system, generate_trajectory
+from repro.errors import TopologyError
+from repro.vmd import GeometryBuilder, Molecule
+from repro.vmd.render import REPRESENTATIONS, VDW_RADII
+
+
+@pytest.fixture(scope="module")
+def molecule():
+    system = build_gpcr_system(natoms_target=1500, seed=121, n_chains=2)
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(generate_trajectory(system, nframes=3, seed=122))
+    return mol
+
+
+def test_unknown_representation_rejected(molecule):
+    with pytest.raises(TopologyError, match="representation"):
+        GeometryBuilder(molecule, representation="cartoon")
+
+
+def test_lines_is_default(molecule):
+    builder = GeometryBuilder(molecule)
+    assert builder.representation == "lines"
+    geo = builder.render_frame(0)
+    assert geo.nsegments > 0
+    assert geo.spheres is None
+    assert geo.nspheres == 0
+
+
+def test_vdw_emits_sphere_per_atom(molecule):
+    geo = GeometryBuilder(molecule, representation="vdw").render_frame(0)
+    assert geo.nspheres == molecule.loaded_natoms
+    assert geo.spheres.shape == (molecule.loaded_natoms, 4)
+    radii = geo.spheres[:, 3]
+    allowed = np.array(list(VDW_RADII.values()) + [1.60])
+    assert all(
+        np.isclose(allowed, r, atol=1e-6).any() for r in np.unique(radii)
+    )
+    # Carbon atoms get the carbon radius.
+    topo = molecule.loaded_topology()
+    carbon = topo.elements == "C"
+    assert np.allclose(radii[carbon], VDW_RADII["C"])
+
+
+def test_trace_links_consecutive_ca_within_chain(molecule):
+    builder = GeometryBuilder(molecule, representation="trace")
+    topo = molecule.loaded_topology()
+    n_ca = int((topo.names == "CA").sum())
+    n_chains = len(set(topo.chains[topo.names == "CA"]))
+    assert builder.bonds.shape[0] == n_ca - n_chains
+    geo = builder.render_frame(0)
+    assert geo.nsegments == n_ca - n_chains
+    # Trace is far sparser than the bond representation.
+    lines = GeometryBuilder(molecule, representation="lines")
+    assert builder.bonds.shape[0] < 0.5 * lines.bonds.shape[0]
+
+
+def test_trace_without_ca_is_empty():
+    from repro.datagen import generate_water, generate_trajectory
+    from repro.datagen.system import MolecularSystem
+
+    topo, coords = generate_water(30, seed=1)
+    system = MolecularSystem(topology=topo, coords=coords)
+    mol = Molecule(0, "water", topo)
+    mol.add_frames(generate_trajectory(system, nframes=1, seed=2))
+    geo = GeometryBuilder(mol, representation="trace").render_frame(0)
+    assert geo.nsegments == 0
+
+
+@pytest.mark.parametrize("rep", REPRESENTATIONS)
+def test_all_representations_render_every_frame(molecule, rep):
+    frames = GeometryBuilder(molecule, representation=rep).render_all()
+    assert len(frames) == molecule.num_frames
+
+
+def test_trace_rasterizes(molecule):
+    from repro.vmd.raster import rasterize
+
+    geo = GeometryBuilder(molecule, representation="trace").render_frame(0)
+    canvas = rasterize(geo, width=80, height=60)
+    assert (canvas > 0).sum() > 20

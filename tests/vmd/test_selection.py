@@ -1,0 +1,153 @@
+"""Tests for the VMD-style selection language."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import build_gpcr_system
+from repro.formats import AtomClass, Topology
+from repro.vmd import SelectionError, compile_selection, select, select_mask
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Topology(
+        names=["N", "CA", "C", "O", "CA", "OH2", "H1", "H2", "P", "SOD"],
+        resnames=["ALA", "ALA", "ALA", "ALA", "GLY", "TIP3", "TIP3", "TIP3",
+                  "POPC", "SOD"],
+        resids=[1, 1, 1, 1, 2, 3, 3, 3, 4, 5],
+        chains=["A", "A", "A", "A", "A", "W", "W", "W", "M", "I"],
+    )
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_gpcr_system(natoms_target=2000, seed=101)
+
+
+def test_class_keywords(topo):
+    np.testing.assert_array_equal(select(topo, "protein"), [0, 1, 2, 3, 4])
+    np.testing.assert_array_equal(select(topo, "water"), [5, 6, 7])
+    np.testing.assert_array_equal(select(topo, "lipid"), [8])
+    np.testing.assert_array_equal(select(topo, "ion"), [9])
+
+
+def test_misc_is_everything_nonprotein(topo):
+    np.testing.assert_array_equal(select(topo, "misc"), [5, 6, 7, 8, 9])
+
+
+def test_all_and_none(topo):
+    assert len(select(topo, "all")) == topo.natoms
+    assert len(select(topo, "none")) == 0
+
+
+def test_name_multivalue(topo):
+    np.testing.assert_array_equal(select(topo, "name CA O"), [1, 3, 4])
+
+
+def test_resname(topo):
+    np.testing.assert_array_equal(select(topo, "resname ala"), [0, 1, 2, 3])
+
+
+def test_chain(topo):
+    np.testing.assert_array_equal(select(topo, "chain W M"), [5, 6, 7, 8])
+
+
+def test_resid_values_and_ranges(topo):
+    np.testing.assert_array_equal(select(topo, "resid 2 4"), [4, 8])
+    np.testing.assert_array_equal(select(topo, "resid 1 to 3"), list(range(9))[:8])
+
+
+def test_index_ranges(topo):
+    np.testing.assert_array_equal(select(topo, "index 0 to 2 9"), [0, 1, 2, 9])
+
+
+def test_and_or_not(topo):
+    np.testing.assert_array_equal(select(topo, "protein and name CA"), [1, 4])
+    np.testing.assert_array_equal(
+        select(topo, "water or ion"), [5, 6, 7, 9]
+    )
+    np.testing.assert_array_equal(
+        select(topo, "not protein and not water"), [8, 9]
+    )
+
+
+def test_parentheses_and_precedence(topo):
+    # 'and' binds tighter than 'or'.
+    a = select(topo, "water or protein and name CA")
+    np.testing.assert_array_equal(a, [1, 4, 5, 6, 7])
+    b = select(topo, "(water or protein) and name CA")
+    np.testing.assert_array_equal(b, [1, 4])
+
+
+def test_nested_not(topo):
+    np.testing.assert_array_equal(
+        select(topo, "not (protein or misc)"), []
+    )
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "plasma",
+        "name",
+        "resid",
+        "resid x",
+        "resid 5 to 1",
+        "protein and",
+        "(protein",
+        "protein ) water",
+        "protein water",  # trailing junk
+    ],
+)
+def test_malformed_selections_rejected(topo, bad):
+    with pytest.raises(SelectionError):
+        select(topo, bad)
+
+
+def test_compile_selection_reusable(topo, system):
+    compiled = compile_selection("protein and name CA")
+    assert compiled.expression == "protein and name CA"
+    np.testing.assert_array_equal(compiled(topo), [1, 4])
+    # Same expression, different topology.
+    ca_count = len(compiled(system.topology))
+    assert ca_count == (system.topology.names == "CA").sum() - (
+        ~system.topology.class_mask(AtomClass.PROTEIN)
+        & (system.topology.names == "CA")
+    ).sum()
+
+
+def test_selection_on_real_system_matches_classes(system):
+    mask = select_mask(system.topology, "protein")
+    np.testing.assert_array_equal(
+        mask, system.topology.class_mask(AtomClass.PROTEIN)
+    )
+
+
+def test_session_accepts_selection_strings(system):
+    from repro.datagen import generate_trajectory
+    from repro.formats import encode_xtc, write_pdb
+    from repro.vmd import VMDSession
+
+    traj = generate_trajectory(system, nframes=3, seed=102)
+    session = VMDSession()
+    session.mol_new(write_pdb(system.topology, system.coords))
+    result = session.mol_addfile(encode_xtc(traj), selection="protein and name CA")
+    expected = len(select(system.topology, "protein and name CA"))
+    assert session.top.loaded_natoms == expected
+    assert result.trajectory.natoms == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    use_not=st.booleans(),
+    keyword=st.sampled_from(["protein", "water", "lipid", "ion", "misc"]),
+)
+def test_property_complement_partitions(system, use_not, keyword):
+    """mask(expr) and mask(not expr) partition the atom space."""
+    mask = select_mask(system.topology, keyword)
+    complement = select_mask(system.topology, f"not {keyword}")
+    assert not (mask & complement).any()
+    assert (mask | complement).all()

@@ -1,0 +1,130 @@
+"""Tests for the VMD session command surface, including ADA integration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemoryLedger
+from repro.core import ADA
+from repro.datagen import build_gpcr_system, generate_trajectory
+from repro.errors import ConfigurationError, OutOfMemoryError, TopologyError
+from repro.formats import encode_xtc, write_pdb
+from repro.formats.xtc import encode_raw
+from repro.fs import LocalFS
+from repro.sim import Simulator
+from repro.storage import DevicePower, DeviceSpec
+from repro.units import GB, MB, mbps
+from repro.vmd import VMDSession
+
+
+def _fs(sim, name):
+    spec = DeviceSpec(
+        name=name,
+        read_bw=mbps(1000),
+        write_bw=mbps(1000),
+        seek_latency_s=0.0,
+        capacity=100 * GB,
+        power=DevicePower(active_w=5.0, idle_w=1.0),
+    )
+    return LocalFS(sim, spec, name=name, metadata_latency_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    system = build_gpcr_system(natoms_target=1000, protein_fraction=0.45, seed=41)
+    traj = generate_trajectory(system, nframes=4, seed=42)
+    return system, write_pdb(system.topology, system.coords), encode_xtc(traj), traj
+
+
+@pytest.fixture
+def ada_session(dataset):
+    system, pdb_text, blob, traj = dataset
+    sim = Simulator()
+    ada = ADA(sim, backends={"ssd": _fs(sim, "ssd"), "hdd": _fs(sim, "hdd")})
+    sim.run_process(ada.ingest("bar.xtc", pdb_text, blob))
+    session = VMDSession(ada=ada)
+    session.mol_new(pdb_text, name="gpcr")
+    return session
+
+
+def test_mol_new_builds_molecule(dataset):
+    system, pdb_text, *_ = dataset
+    session = VMDSession()
+    mol = session.mol_new(pdb_text)
+    assert mol.topology.natoms == system.natoms
+    assert session.top is mol
+
+
+def test_addfile_without_mol_new_rejected(dataset):
+    *_, blob, traj = dataset[:-1], dataset[-1]
+    session = VMDSession()
+    with pytest.raises(TopologyError):
+        session.mol_addfile(encode_raw(dataset[3]))
+
+
+def test_traditional_compressed_load(dataset):
+    system, pdb_text, blob, traj = dataset
+    session = VMDSession()
+    session.mol_new(pdb_text)
+    result = session.mol_addfile(blob)
+    assert session.top.num_frames == traj.nframes
+    assert result.decompressed_nbytes == traj.nbytes
+
+
+def test_traditional_raw_load_with_selection(dataset):
+    system, pdb_text, blob, traj = dataset
+    session = VMDSession()
+    mol = session.mol_new(pdb_text)
+    sel = np.arange(100)
+    session.mol_addfile(encode_raw(traj), selection=sel)
+    assert mol.loaded_natoms == 100
+
+
+def test_tag_selective_load_via_ada(ada_session, dataset):
+    system, *_ = dataset
+    result = ada_session.mol_addfile_tag("bar.xtc", "p")
+    mol = ada_session.top
+    expected = ada_session.ada.label_map("bar.xtc").atom_count("p")
+    assert mol.loaded_natoms == expected
+    assert mol.num_frames == 4
+    # Only the protein subset was moved and materialized.
+    assert result.source_nbytes == ada_session.ada.subset_nbytes("bar.xtc", "p")
+
+
+def test_addfile_all_merges_subsets(ada_session, dataset):
+    system, pdb_text, blob, traj = dataset
+    ada_session.mol_addfile_all("bar.xtc")
+    mol = ada_session.top
+    assert mol.loaded_natoms == system.natoms
+    # Merged coordinates match the decompressed original (lossy codec tol).
+    from repro.formats import decode_xtc
+
+    raw = decode_xtc(blob)
+    np.testing.assert_allclose(
+        mol.trajectory.coords, raw.coords, atol=1e-5
+    )
+
+
+def test_tag_load_without_ada_rejected(dataset):
+    session = VMDSession()
+    session.mol_new(dataset[1])
+    with pytest.raises(ConfigurationError):
+        session.mol_addfile_tag("bar.xtc", "p")
+
+
+def test_memory_ledger_charged_on_load(dataset):
+    system, pdb_text, blob, traj = dataset
+    memory = MemoryLedger(1 * GB)
+    session = VMDSession(memory=memory)
+    session.mol_new(pdb_text)
+    session.mol_addfile(blob)
+    assert memory.held("frames") == traj.nbytes
+    # Peak includes the transient inflate + source buffers.
+    assert memory.peak >= traj.nbytes + len(blob)
+
+
+def test_oom_kill_on_tiny_memory(dataset):
+    system, pdb_text, blob, traj = dataset
+    session = VMDSession(memory=MemoryLedger(traj.nbytes * 1.5))
+    session.mol_new(pdb_text)
+    with pytest.raises(OutOfMemoryError):
+        session.mol_addfile(blob)  # C path needs ~2x raw + compressed

@@ -1,0 +1,83 @@
+"""Tests for windowed streaming trajectory access."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_gpcr_system, generate_trajectory
+from repro.errors import CodecError
+from repro.formats import decode_xtc, encode_xtc
+from repro.vmd.streaming import StreamingTrajectory
+
+
+@pytest.fixture(scope="module")
+def stream_setup():
+    system = build_gpcr_system(natoms_target=800, seed=131)
+    traj = generate_trajectory(system, nframes=64, seed=132)
+    blob = encode_xtc(traj, keyframe_interval=8)
+    return traj, blob
+
+
+def test_construction_validates(stream_setup):
+    _, blob = stream_setup
+    with pytest.raises(CodecError):
+        StreamingTrajectory(blob, window_frames=0)
+    with pytest.raises(CodecError):
+        StreamingTrajectory(b"")
+
+
+def test_dimensions(stream_setup):
+    traj, blob = stream_setup
+    s = StreamingTrajectory(blob, window_frames=8)
+    assert s.nframes == 64
+    assert s.natoms == traj.natoms
+
+
+def test_frames_match_full_decode(stream_setup):
+    traj, blob = stream_setup
+    s = StreamingTrajectory(blob, window_frames=8, max_windows=2)
+    full = decode_xtc(blob)
+    for i in (0, 7, 8, 33, 63):
+        np.testing.assert_allclose(
+            s.frame(i).coords, full.coords[i], atol=1e-6
+        )
+
+
+def test_bounds_checked(stream_setup):
+    _, blob = stream_setup
+    s = StreamingTrajectory(blob, window_frames=8)
+    with pytest.raises(CodecError):
+        s.frame(64)
+
+
+def test_residency_stays_bounded(stream_setup):
+    traj, blob = stream_setup
+    s = StreamingTrajectory(blob, window_frames=8, max_windows=2)
+    for i in range(64):
+        s.frame(i)
+        assert s.resident_nbytes <= s.max_resident_nbytes
+    # Far below the full decoded volume.
+    assert s.max_resident_nbytes < 0.3 * traj.nbytes
+
+
+def test_sequential_playback_decodes_each_window_once(stream_setup):
+    _, blob = stream_setup
+    s = StreamingTrajectory(blob, window_frames=8, max_windows=2)
+    for i in range(64):
+        s.frame(i)
+    assert s.window_decodes == 8
+    assert s.hit_rate() == pytest.approx((64 - 8) / 64)
+
+
+def test_rocking_with_small_budget_thrashes(stream_setup):
+    """Paper §2.1: back-and-forth replay under a small memory budget."""
+    _, blob = stream_setup
+    order = list(range(64)) + list(range(63, -1, -1))
+
+    small = StreamingTrajectory(blob, window_frames=8, max_windows=1)
+    for i in order:
+        small.frame(i)
+    big = StreamingTrajectory(blob, window_frames=8, max_windows=8)
+    for i in order:
+        big.frame(i)
+    assert small.window_decodes > big.window_decodes
+    assert small.hit_rate() < big.hit_rate()

@@ -1,0 +1,50 @@
+"""Tests for materialized GPCR workloads."""
+
+import pytest
+
+from repro.workloads import (
+    CLUSTER_FRAME_COUNTS,
+    FAT_NODE_FRAME_COUNTS,
+    SSD_SERVER_FRAME_COUNTS,
+    TABLE1_FRAME_COUNTS,
+    build_workload,
+)
+
+
+def test_frame_count_presets_match_paper():
+    assert TABLE1_FRAME_COUNTS == (626, 1_251, 5_006)
+    assert SSD_SERVER_FRAME_COUNTS[0] == 626
+    assert SSD_SERVER_FRAME_COUNTS[-1] == 5_006
+    assert CLUSTER_FRAME_COUNTS[-1] == 6_256
+    assert FAT_NODE_FRAME_COUNTS[0] == 62_560
+    assert FAT_NODE_FRAME_COUNTS[-1] == 5_004_800
+    assert 1_876_800 in FAT_NODE_FRAME_COUNTS  # the OOM-kill point
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(natoms=3000, nframes=15, seed=2)
+
+
+def test_workload_has_all_artifacts(workload):
+    assert workload.system.natoms > 2500
+    assert workload.trajectory.nframes == 15
+    assert "ATOM" in workload.pdb_text
+    assert len(workload.xtc_blob) > 0
+
+
+def test_compression_ratio_in_band(workload):
+    assert 0.2 < workload.compression_ratio < 0.45
+
+
+def test_preprocess_splits(workload):
+    result = workload.preprocess()
+    assert result.tags == ["m", "p"]
+    assert result.nframes == 15
+
+
+def test_measured_sizing_close_to_paper(workload):
+    """The real generator + codec lands near Table 2's constants."""
+    measured = workload.measured_sizing()
+    assert measured.compression_ratio == pytest.approx(0.306, abs=0.1)
+    assert measured.protein_fraction == pytest.approx(0.424, abs=0.05)

@@ -1,0 +1,86 @@
+"""Tests for the paper-scale sizing model (Tables 2 and 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+from repro.workloads import SizingModel, VirtualDataset
+
+
+def test_paper_constants():
+    m = SizingModel.paper()
+    assert m.compression_ratio == pytest.approx(0.306, abs=0.01)
+    assert m.protein_fraction == pytest.approx(0.424, abs=0.01)
+    assert m.natoms == 43_530
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SizingModel(compression_ratio=1.5)
+    with pytest.raises(ConfigurationError):
+        SizingModel(protein_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        SizingModel(natoms=1)
+    with pytest.raises(ConfigurationError):
+        SizingModel.paper().dataset(0)
+
+
+def test_table2_row_626_frames():
+    """Table 2: 626 frames => 100 MB compressed / 139 MB protein / 327 MB raw."""
+    d = SizingModel.paper().dataset(626)
+    assert d.raw_nbytes == pytest.approx(327 * MB, rel=0.01)
+    assert d.compressed_nbytes == pytest.approx(100 * MB, rel=0.01)
+    assert d.protein_nbytes == pytest.approx(139 * MB, rel=0.01)
+
+
+def test_table2_row_5006_frames():
+    """Table 2: 5,006 frames => 800 / 1,108 / 2,612 MB."""
+    d = SizingModel.paper().dataset(5_006)
+    assert d.compressed_nbytes == pytest.approx(800 * MB, rel=0.01)
+    assert d.protein_nbytes == pytest.approx(1_108 * MB, rel=0.01)
+    assert d.raw_nbytes == pytest.approx(2_612 * MB, rel=0.01)
+
+
+def test_table6_row_1876800_frames():
+    """Table 6: 1,876,800 frames => 300 / 415.8 / 979.8 GB."""
+    d = SizingModel.paper().dataset(1_876_800)
+    assert d.compressed_nbytes == pytest.approx(300 * GB, rel=0.01)
+    assert d.protein_nbytes == pytest.approx(415.8 * GB, rel=0.01)
+    assert d.raw_nbytes == pytest.approx(979.8 * GB, rel=0.01)
+
+
+def test_subset_sizes_partition_raw():
+    d = SizingModel.paper().dataset(1_000)
+    sizes = d.subset_sizes()
+    assert sizes["p"] + sizes["m"] == d.raw_nbytes
+
+
+def test_label_map_consistent_with_sizes():
+    d = SizingModel.paper().dataset(100)
+    lm = d.label_map()
+    lm.validate()
+    assert lm.fraction("p") == pytest.approx(
+        d.protein_nbytes / d.raw_nbytes, abs=0.001
+    )
+
+
+def test_from_measurement_roundtrip():
+    m = SizingModel.from_measurement(
+        natoms=1000, raw_nbytes=1_000_000, compressed_nbytes=300_000,
+        protein_nbytes=450_000,
+    )
+    assert m.compression_ratio == pytest.approx(0.3)
+    assert m.protein_fraction == pytest.approx(0.45)
+
+
+@settings(max_examples=30, deadline=None)
+@given(nframes=st.integers(1, 10_000_000))
+def test_property_sizes_scale_linearly(nframes):
+    m = SizingModel.paper()
+    d = m.dataset(nframes)
+    assert d.raw_nbytes == pytest.approx(nframes * m.raw_bytes_per_frame, rel=1e-9)
+    assert 0 < d.compressed_nbytes < d.raw_nbytes
+    assert 0 < d.protein_nbytes < d.raw_nbytes
+    assert d.misc_nbytes + d.protein_nbytes == d.raw_nbytes
