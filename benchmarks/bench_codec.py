@@ -6,6 +6,8 @@ The decode rate is the physical analogue of the model's calibrated
 ``decompress_rate``.
 """
 
+import json
+
 import pytest
 
 from repro.formats import decode_xtc, encode_xtc
@@ -50,3 +52,21 @@ def test_decode_rate_report(artifact_sink, small_workload):
         f"model decompress_rate (E7-4820v3): 45 MB/s",
     )
     assert rate > 20.0  # same order as the calibrated rates
+
+
+def test_bench_codec_json_baseline(artifact_sink):
+    """Emit BENCH_codec.json and hold the kernel-speedup floor.
+
+    The vectorized kernels must decode >= 3x faster than the pre-PR
+    bit-matrix kernel (measured on the all-deflate stream that kernel
+    actually produced).  best-of-5 repeats keep scheduler noise out of
+    the recorded baseline.
+    """
+    from repro.harness.benchcodec import render_codec_bench, run_codec_bench
+
+    result = run_codec_bench(repeats=5)
+    artifact_sink("BENCH_codec.json", json.dumps(result, indent=2))
+    artifact_sink("BENCH_codec.txt", render_codec_bench(result))
+    assert result["schema_version"] == 1
+    assert 2.5 < result["workload"]["compression_ratio"] < 5.0
+    assert result["baseline_ratio"] >= 3.0

@@ -13,6 +13,7 @@ The same code paths the benchmark suite drives, minus pytest.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Callable, Dict
@@ -175,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(GENERATORS) + ["all", "list"],
+        choices=sorted(GENERATORS) + ["all", "bench-codec", "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -186,7 +187,48 @@ def build_parser() -> argparse.ArgumentParser:
         "-d", "--directory", type=pathlib.Path, default=None,
         help="(with 'all') directory to write one file per artifact",
     )
+    bench = parser.add_argument_group("bench-codec options")
+    bench.add_argument(
+        "--json", action="store_true",
+        help="(bench-codec) write BENCH_codec.json instead of text",
+    )
+    bench.add_argument("--workers", type=int, default=0,
+                       help="(bench-codec) GOF workers; 0 = one per CPU")
+    bench.add_argument("--natoms", type=int, default=8000)
+    bench.add_argument("--nframes", type=int, default=30)
+    bench.add_argument("--keyframe-interval", type=int, default=10)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="(bench-codec) best-of-N timing repeats")
     return parser
+
+
+def _run_bench_codec(args) -> int:
+    from repro.errors import CodecError
+    from repro.harness.benchcodec import render_codec_bench, run_codec_bench
+
+    try:
+        result = run_codec_bench(
+            natoms=args.natoms,
+            nframes=args.nframes,
+            keyframe_interval=args.keyframe_interval,
+            workers=args.workers,
+            repeats=args.repeats,
+        )
+    except CodecError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        path = args.output or pathlib.Path("BENCH_codec.json")
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        text = render_codec_bench(result)
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -194,7 +236,10 @@ def main(argv=None) -> int:
     if args.target == "list":
         for name in sorted(GENERATORS):
             print(name)
+        print("bench-codec")
         return 0
+    if args.target == "bench-codec":
+        return _run_bench_codec(args)
     if args.target == "all":
         directory = args.directory or pathlib.Path("results")
         directory.mkdir(parents=True, exist_ok=True)

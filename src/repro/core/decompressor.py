@@ -3,9 +3,22 @@
 Wraps the XTC codec for ADA's storage-side use: "the data decompressor
 will be invoked if the original data is compressed" (§3.1).  Pass-through
 for raw containers, so the pre-processor accepts either representation.
+
+Two performance knobs ride along with the codec's hot path:
+
+* ``workers`` -- groups of frames decode concurrently (see
+  :func:`repro.formats.xtc.resolve_workers`); results are bit-identical to
+  a serial decode, so callers opt in freely.
+* a small :class:`~repro.formats.xtc.FrameIndex` cache -- repeated queries
+  against the same blob (``frame_count`` then ``raw_nbytes`` then
+  ``decompress``, the pre-processor's exact sequence) share one header
+  scan instead of rescanning the stream each call.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
 
 from repro.errors import CodecError
 from repro.formats.dcd import DCD_MAGIC, decode_dcd
@@ -14,17 +27,39 @@ from repro.formats.trr import TRR_MAGIC, decode_trr
 from repro.formats.xtc import (
     RAW_MAGIC,
     XTC_MAGIC,
-    count_frames,
+    FrameIndex,
     decode_raw,
     decode_xtc,
-    iter_frame_infos,
 )
 
 __all__ = ["Decompressor"]
 
 
 class Decompressor:
-    """Format-sniffing trajectory decoder."""
+    """Format-sniffing trajectory decoder.
+
+    ``workers`` is forwarded to :func:`repro.formats.xtc.decode_xtc` for
+    group-of-frames parallel decode; ``index_cache_size`` bounds how many
+    blobs keep a cached :class:`FrameIndex` (LRU, keyed by blob identity).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        index_cache_size: int = 8,
+    ):
+        if index_cache_size < 0:
+            raise CodecError("index_cache_size must be >= 0")
+        self.workers = workers
+        self.index_cache_size = int(index_cache_size)
+        # id(blob) -> (blob, FrameIndex).  Holding the blob keeps the id
+        # stable (and the entry is verified by identity before use, so a
+        # recycled id can never alias a different blob).
+        self._index_cache: "OrderedDict[int, tuple[bytes, FrameIndex]]" = (
+            OrderedDict()
+        )
+        self.index_hits = 0
+        self.index_misses = 0
 
     @staticmethod
     def sniff(data: bytes) -> str:
@@ -45,11 +80,35 @@ class Decompressor:
     def is_compressed(self, data: bytes) -> bool:
         return self.sniff(data) == "xtc"
 
+    def frame_index(self, data: bytes) -> FrameIndex:
+        """The (cached) :class:`FrameIndex` of an XTC blob.
+
+        One header scan per blob: subsequent calls with the same object
+        reuse the cached index, so ``frame_count`` / ``raw_nbytes`` /
+        ``decompress`` sequences cost a single scan total.
+        """
+        key = id(data)
+        entry = self._index_cache.get(key)
+        if entry is not None and entry[0] is data:
+            self.index_hits += 1
+            self._index_cache.move_to_end(key)
+            return entry[1]
+        index = FrameIndex.build(data)
+        self.index_misses += 1
+        if self.index_cache_size:
+            self._index_cache[key] = (data, index)
+            self._index_cache.move_to_end(key)
+            while len(self._index_cache) > self.index_cache_size:
+                self._index_cache.popitem(last=False)
+        return index
+
     def decompress(self, data: bytes) -> Trajectory:
         """Decode any supported container into an in-memory trajectory."""
         kind = self.sniff(data)
         if kind == "xtc":
-            return decode_xtc(data)
+            return decode_xtc(
+                data, workers=self.workers, index=self.frame_index(data)
+            )
         if kind == "dcd":
             return decode_dcd(data)
         if kind == "trr":
@@ -60,11 +119,11 @@ class Decompressor:
     def frame_count(self, data: bytes) -> int:
         """Frames in a compressed stream without inflating payloads."""
         if self.sniff(data) == "xtc":
-            return count_frames(data)
+            return self.frame_index(data).nframes
         return self.decompress(data).nframes
 
     def raw_nbytes(self, data: bytes) -> int:
         """Decompressed payload size (headers only for xtc)."""
         if self.sniff(data) == "xtc":
-            return sum(info.raw_nbytes for info in iter_frame_infos(data))
+            return self.frame_index(data).raw_nbytes
         return self.decompress(data).nbytes

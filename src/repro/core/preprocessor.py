@@ -8,8 +8,9 @@ every read, on a compute node, as the traditional workflow does.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.categorizer import Categorizer
 from repro.core.decompressor import Decompressor
@@ -19,7 +20,7 @@ from repro.formats.pdb import parse_pdb
 from repro.formats.topology import Topology
 from repro.formats.trajectory import Trajectory
 from repro.formats.dcd import encode_dcd
-from repro.formats.xtc import encode_raw, encode_xtc
+from repro.formats.xtc import encode_raw, encode_xtc, resolve_workers
 
 __all__ = ["DataPreProcessor", "PreProcessResult", "SUBSET_ENCODERS"]
 
@@ -56,7 +57,12 @@ class PreProcessResult:
 class DataPreProcessor:
     """Storage-side pipeline: structure analysis + dataset division."""
 
-    def __init__(self, policy: TagPolicy = None, subset_format: str = "raw"):
+    def __init__(
+        self,
+        policy: TagPolicy = None,
+        subset_format: str = "raw",
+        workers: Optional[int] = None,
+    ):
         if subset_format not in SUBSET_ENCODERS:
             raise ValueError(
                 f"unknown subset format {subset_format!r}; "
@@ -64,8 +70,9 @@ class DataPreProcessor:
             )
         self.policy = policy or TagPolicy.protein_vs_misc()
         self.subset_format = subset_format
+        self.workers = workers
         self.categorizer = Categorizer(self.policy)
-        self.decompressor = Decompressor()
+        self.decompressor = Decompressor(workers=workers)
 
     def analyze_structure(self, pdb_text: str) -> LabelMap:
         """Algorithm 1 applied to a ``.pdb`` file."""
@@ -100,10 +107,15 @@ class DataPreProcessor:
         self, label_map: LabelMap, trajectory: Trajectory, compressed_nbytes: int
     ) -> PreProcessResult:
         encoder = SUBSET_ENCODERS[self.subset_format]
-        subsets = {
-            tag: encoder(sub)
-            for tag, sub in self.categorizer.split(trajectory, label_map).items()
-        }
+        split = self.categorizer.split(trajectory, label_map)
+        nworkers = resolve_workers(self.workers, len(split))
+        if nworkers > 1:
+            tags = list(split)
+            with ThreadPoolExecutor(max_workers=nworkers) as pool:
+                blobs = list(pool.map(lambda t: encoder(split[t]), tags))
+            subsets = dict(zip(tags, blobs))
+        else:
+            subsets = {tag: encoder(sub) for tag, sub in split.items()}
         return PreProcessResult(
             label_map=label_map,
             subsets=subsets,

@@ -19,25 +19,31 @@ from repro.formats.pdb import parse_pdb, write_pdb
 from repro.formats.trajectory import Frame, Trajectory
 from repro.formats.xtc import (
     XTC_MAGIC,
+    FrameIndex,
     XtcFrameInfo,
+    decode_frame_range,
     decode_xtc,
     encode_xtc,
     iter_frame_infos,
     raw_frame_nbytes,
+    resolve_workers,
 )
 
 __all__ = [
     "AtomClass",
     "Frame",
+    "FrameIndex",
     "Topology",
     "Trajectory",
     "XTC_MAGIC",
     "XtcFrameInfo",
     "classify_residue",
+    "decode_frame_range",
     "decode_xtc",
     "encode_xtc",
     "iter_frame_infos",
     "parse_pdb",
     "raw_frame_nbytes",
+    "resolve_workers",
     "write_pdb",
 ]

@@ -75,10 +75,14 @@ class LoadResult:
 
 
 class TrajectoryLoader:
-    """Executes the three load paths on in-memory blobs."""
+    """Executes the three load paths on in-memory blobs.
 
-    def __init__(self) -> None:
-        self.decompressor = Decompressor()
+    ``workers`` enables parallel group-of-frames decompression on the C
+    path (bit-identical to serial decode; ``0`` means one per CPU).
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.decompressor = Decompressor(workers=workers)
 
     def load_compressed(
         self, blob: bytes, selection: Optional[np.ndarray] = None

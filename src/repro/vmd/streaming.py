@@ -18,28 +18,33 @@ from typing import Optional
 
 from repro.errors import CodecError
 from repro.formats.trajectory import BYTES_PER_COORD, Frame, Trajectory
-from repro.formats.xtc import decode_frame_range, iter_frame_infos
+from repro.formats.xtc import FrameIndex, decode_frame_range
 
 __all__ = ["StreamingTrajectory"]
 
 
 class StreamingTrajectory:
-    """Frame access over compressed bytes with bounded decoded residency."""
+    """Frame access over compressed bytes with bounded decoded residency.
+
+    The frame headers are scanned exactly once, at construction, into a
+    :class:`FrameIndex`; every window decode then seeks straight to its
+    keyframe anchor, so playback costs O(window) per window instead of
+    O(file).
+    """
 
     def __init__(
         self,
         xtc_bytes: bytes,
         window_frames: int = 32,
         max_windows: int = 4,
+        index: Optional[FrameIndex] = None,
     ):
         if window_frames < 1 or max_windows < 1:
             raise CodecError("window_frames and max_windows must be >= 1")
         self._data = xtc_bytes
-        infos = list(iter_frame_infos(xtc_bytes))
-        if not infos:
-            raise CodecError("empty XTC stream")
-        self._nframes = len(infos)
-        self._natoms = infos[0].natoms
+        self.index = index if index is not None else FrameIndex.build(xtc_bytes)
+        self._nframes = self.index.nframes
+        self._natoms = self.index.natoms
         self.window_frames = int(window_frames)
         self.max_windows = int(max_windows)
         self._windows: "OrderedDict[int, Trajectory]" = OrderedDict()
@@ -76,7 +81,7 @@ class StreamingTrajectory:
         else:
             start = window_id * self.window_frames
             stop = min(start + self.window_frames, self._nframes)
-            window = decode_frame_range(self._data, start, stop)
+            window = decode_frame_range(self._data, start, stop, index=self.index)
             self.window_decodes += 1
             self._windows[window_id] = window
             while len(self._windows) > self.max_windows:

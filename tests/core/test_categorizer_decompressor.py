@@ -105,3 +105,43 @@ def test_frame_count_without_decode(trajectory):
 def test_raw_nbytes_matches_payload(trajectory):
     d = Decompressor()
     assert d.raw_nbytes(encode_xtc(trajectory)) == trajectory.nbytes
+
+
+# -- frame-index cache + worker wiring -----------------------------------------
+
+
+def test_index_cache_shares_one_scan(trajectory):
+    d = Decompressor()
+    blob = encode_xtc(trajectory)
+    d.frame_count(blob)
+    d.raw_nbytes(blob)
+    d.decompress(blob)
+    assert d.index_misses == 1
+    assert d.index_hits == 2
+
+
+def test_index_cache_identity_keyed(trajectory):
+    d = Decompressor(index_cache_size=1)
+    a = encode_xtc(trajectory)
+    b = encode_xtc(trajectory, keyframe_interval=2)
+    assert d.frame_index(a) is d.frame_index(a)
+    d.frame_index(b)  # evicts a (LRU of size 1)
+    d.frame_index(a)
+    assert d.index_misses == 3
+
+
+def test_index_cache_disabled(trajectory):
+    d = Decompressor(index_cache_size=0)
+    blob = encode_xtc(trajectory)
+    d.frame_index(blob)
+    d.frame_index(blob)
+    assert d.index_hits == 0 and d.index_misses == 2
+    with pytest.raises(CodecError):
+        Decompressor(index_cache_size=-1)
+
+
+def test_parallel_decompress_bit_identical(trajectory):
+    blob = encode_xtc(trajectory, keyframe_interval=2)
+    serial = Decompressor().decompress(blob)
+    parallel = Decompressor(workers=4).decompress(blob)
+    np.testing.assert_array_equal(serial.coords, parallel.coords)

@@ -70,3 +70,14 @@ def test_raw_input_accepted(dataset):
     system, pdb_text, _, traj = dataset
     result = DataPreProcessor().process(pdb_text, encode_raw(traj))
     assert result.raw_nbytes == traj.nbytes
+
+
+def test_parallel_divide_identical_subsets(dataset):
+    """Per-tag subset encoding with a thread pool is byte-identical."""
+    _, pdb_text, blob, _ = dataset
+    serial = DataPreProcessor().process(pdb_text, blob)
+    for fmt in ("raw", "xtc"):
+        a = DataPreProcessor(subset_format=fmt).process(pdb_text, blob)
+        b = DataPreProcessor(subset_format=fmt, workers=4).process(pdb_text, blob)
+        assert a.subsets == b.subsets
+    assert serial.tags == ["m", "p"]

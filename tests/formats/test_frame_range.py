@@ -7,14 +7,14 @@ from hypothesis import strategies as st
 
 from repro.errors import CodecError
 from repro.formats import Trajectory, decode_xtc, encode_xtc, iter_frame_infos
-from repro.formats.xtc import decode_frame_range
+from repro.formats.xtc import FrameIndex, decode_frame_range
 
 
-def _traj(nframes=30, natoms=25, seed=0):
+def _traj(nframes=30, natoms=25, seed=0, box=None):
     rng = np.random.default_rng(seed)
     base = rng.uniform(-20, 20, size=(natoms, 3))
     walk = rng.normal(scale=0.3, size=(nframes, natoms, 3)).cumsum(axis=0)
-    return Trajectory(coords=(base + walk).astype(np.float32))
+    return Trajectory(coords=(base + walk).astype(np.float32), box=box)
 
 
 def test_keyframes_inserted_at_interval():
@@ -73,6 +73,31 @@ def test_frame_range_bounds_validated():
         decode_frame_range(blob, -1, 3)
     with pytest.raises(CodecError):
         decode_frame_range(blob, 0, 11)
+
+
+def test_frame_range_preserves_box():
+    """Regression: windowed decode used to drop the periodic box."""
+    box = np.diag([40.0, 40.0, 40.0]).astype(np.float32)
+    t = _traj(nframes=20, box=box)
+    blob = encode_xtc(t, keyframe_interval=5)
+    part = decode_frame_range(blob, 7, 13)
+    assert part.box is not None
+    np.testing.assert_array_equal(part.box, decode_xtc(blob).box)
+
+
+def test_frame_range_box_none_when_absent():
+    blob = encode_xtc(_traj(nframes=6), keyframe_interval=3)
+    assert decode_frame_range(blob, 2, 5).box is None
+
+
+def test_frame_range_with_prebuilt_index():
+    t = _traj(nframes=24)
+    blob = encode_xtc(t, keyframe_interval=6)
+    idx = FrameIndex.build(blob)
+    full = decode_xtc(blob)
+    for start, stop in [(0, 3), (5, 17), (23, 24)]:
+        part = decode_frame_range(blob, start, stop, index=idx)
+        np.testing.assert_array_equal(part.coords, full.coords[start:stop])
 
 
 @settings(max_examples=25, deadline=None)

@@ -1,0 +1,80 @@
+"""Tier-1 smoke test for the ``bench-codec`` CLI target and its JSON schema.
+
+Kept deliberately small and assertion-light on absolute numbers: the full
+benchmark (with the ``baseline_ratio >= 3`` floor) lives in
+``benchmarks/bench_codec.py``.  Here we pin the schema so downstream
+tooling reading ``BENCH_codec.json`` never silently breaks, and check
+parallel decode is not pathologically slower than serial.
+"""
+
+import json
+
+from repro.cli import main
+from repro.harness.benchcodec import run_codec_bench
+
+_SMALL = dict(natoms=600, nframes=12, keyframe_interval=4, repeats=2)
+
+
+def test_bench_codec_schema_stable():
+    result = run_codec_bench(**_SMALL)
+    assert result["schema_version"] == 1
+    assert set(result) == {
+        "schema_version",
+        "workload",
+        "workers",
+        "repeats",
+        "encode_mb_s",
+        "decode_mb_s",
+        "parallel_speedup",
+        "baseline_ratio",
+    }
+    assert set(result["workload"]) == {
+        "natoms",
+        "nframes",
+        "keyframe_interval",
+        "raw_mb",
+        "compressed_mb",
+        "compression_ratio",
+    }
+    assert set(result["encode_mb_s"]) == {"serial", "parallel"}
+    assert set(result["decode_mb_s"]) == {"serial", "parallel", "legacy_kernel"}
+    assert set(result["parallel_speedup"]) == {"encode", "decode"}
+    assert result["workers"] >= 1
+    assert result["baseline_ratio"] > 0
+
+
+def test_parallel_not_pathologically_slower():
+    """With auto workers (one per CPU), parallel throughput must stay
+    within 10% of serial -- on a single-CPU box both resolve to the same
+    serial path, on multi-CPU boxes threads must actually help."""
+    best = 0.0
+    for _ in range(3):
+        result = run_codec_bench(**_SMALL, workers=0)
+        best = max(best, result["parallel_speedup"]["decode"])
+        if best >= 0.9:
+            break
+    assert best >= 0.9
+
+
+def test_cli_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_codec.json"
+    argv = [
+        "bench-codec", "--json", "-o", str(out),
+        "--natoms", "600", "--nframes", "12",
+        "--keyframe-interval", "4", "--repeats", "1",
+    ]
+    assert main(argv) == 0
+    data = json.loads(out.read_text())
+    assert data["schema_version"] == 1
+    assert data["workload"]["nframes"] == 12
+
+
+def test_cli_text_mode(capsys):
+    argv = [
+        "bench-codec", "--natoms", "600", "--nframes", "8",
+        "--keyframe-interval", "4", "--repeats", "1",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "baseline_ratio" in out
+    assert "decode" in out

@@ -68,6 +68,39 @@ def test_sequential_playback_decodes_each_window_once(stream_setup):
     assert s.hit_rate() == pytest.approx((64 - 8) / 64)
 
 
+def test_playback_scans_headers_exactly_once(stream_setup, monkeypatch):
+    """O(window) streaming: the frame headers are scanned once at
+    construction (into the FrameIndex); window decodes seek straight to
+    their keyframe anchors instead of rescanning the whole stream."""
+    from repro.formats import xtc as xtc_mod
+    from repro.vmd import streaming as streaming_mod
+
+    calls = {"scans": 0}
+    real_iter = xtc_mod.iter_frame_infos
+
+    def counting_iter(data):
+        calls["scans"] += 1
+        return real_iter(data)
+
+    monkeypatch.setattr(xtc_mod, "iter_frame_infos", counting_iter)
+    _, blob = stream_setup
+    s = streaming_mod.StreamingTrajectory(blob, window_frames=8, max_windows=2)
+    for i in range(64):
+        s.frame(i)
+    assert s.window_decodes == 8
+    assert calls["scans"] == 1
+
+
+def test_prebuilt_index_reused(stream_setup):
+    from repro.formats.xtc import FrameIndex
+
+    _, blob = stream_setup
+    idx = FrameIndex.build(blob)
+    s = StreamingTrajectory(blob, window_frames=8, index=idx)
+    assert s.index is idx
+    assert s.nframes == idx.nframes
+
+
 def test_rocking_with_small_budget_thrashes(stream_setup):
     """Paper §2.1: back-and-forth replay under a small memory budget."""
     _, blob = stream_setup
