@@ -176,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(GENERATORS) + ["all", "bench-codec", "list"],
+        choices=sorted(GENERATORS) + ["all", "bench-codec", "chaos", "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -190,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = parser.add_argument_group("bench-codec options")
     bench.add_argument(
         "--json", action="store_true",
-        help="(bench-codec) write BENCH_codec.json instead of text",
+        help="(bench-codec/chaos) write the JSON record instead of text",
     )
     bench.add_argument("--workers", type=int, default=0,
                        help="(bench-codec) GOF workers; 0 = one per CPU")
@@ -199,7 +199,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--keyframe-interval", type=int, default=10)
     bench.add_argument("--repeats", type=int, default=3,
                        help="(bench-codec) best-of-N timing repeats")
+    chaos = parser.add_argument_group("chaos options")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="(chaos) fault-plan / workload seed")
+    chaos.add_argument("--rate", type=float, default=0.05,
+                       help="(chaos) transient fault rate per operation")
+    chaos.add_argument("--rounds", type=int, default=3,
+                       help="(chaos) read rounds after ingest")
     return parser
+
+
+def _run_chaos(args) -> int:
+    from repro.harness.chaos import render_chaos, run_chaos
+
+    report = run_chaos(
+        seed=args.seed, transient_rate=args.rate, rounds=args.rounds
+    )
+    if args.json:
+        path = args.output or pathlib.Path("CHAOS_report.json")
+        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        text = render_chaos(report)
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    if not report.identical:
+        print("repro: chaos run diverged from fault-free baseline",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_bench_codec(args) -> int:
@@ -237,9 +268,12 @@ def main(argv=None) -> int:
         for name in sorted(GENERATORS):
             print(name)
         print("bench-codec")
+        print("chaos")
         return 0
     if args.target == "bench-codec":
         return _run_bench_codec(args)
+    if args.target == "chaos":
+        return _run_chaos(args)
     if args.target == "all":
         directory = args.directory or pathlib.Path("results")
         directory.mkdir(parents=True, exist_ok=True)

@@ -15,6 +15,7 @@ from repro.core.dispatcher import IODispatcher
 from repro.core.indexer import Indexer
 from repro.core.retriever import IORetriever
 from repro.core.tags import PlacementPolicy
+from repro.faults.retry import Retrier, RetryPolicy, RetryStats
 from repro.fs.base import StoredObject
 from repro.fs.plfs import PLFS
 from repro.sim import Simulator
@@ -23,7 +24,12 @@ __all__ = ["IODeterminator"]
 
 
 class IODeterminator:
-    """ADA's storage interface, composed per Fig. 5."""
+    """ADA's storage interface, composed per Fig. 5.
+
+    One :class:`Retrier` (and its :class:`RetryStats`) is shared by the
+    dispatcher and retriever, so operators see a single set of counters for
+    the determinator's I/O.
+    """
 
     def __init__(
         self,
@@ -33,17 +39,22 @@ class IODeterminator:
         indexer_latency_s: float = 2e-3,
         retriever_request_size: Optional[int] = None,
         spill_on_full: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_stats: Optional[RetryStats] = None,
     ):
         self.sim = sim
         self.plfs = plfs
+        self.retry_stats = retry_stats if retry_stats is not None else RetryStats()
+        self.retrier = Retrier(sim, policy=retry_policy, stats=self.retry_stats)
         self.indexer = Indexer(sim, plfs, lookup_latency_s=indexer_latency_s)
         self.dispatcher = IODispatcher(
-            sim, plfs, placement, spill_on_full=spill_on_full
+            sim, plfs, placement, spill_on_full=spill_on_full,
+            retrier=self.retrier,
         )
         kwargs = {}
         if retriever_request_size is not None:
             kwargs["request_size"] = retriever_request_size
-        self.retriever = IORetriever(sim, plfs, **kwargs)
+        self.retriever = IORetriever(sim, plfs, retrier=self.retrier, **kwargs)
 
     # -- write path ---------------------------------------------------------
 

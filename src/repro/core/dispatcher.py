@@ -19,6 +19,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.core.tags import PlacementPolicy
 from repro.errors import StorageFullError
+from repro.faults.retry import Retrier
 from repro.fs.plfs import PLFS, IndexRecord
 from repro.sim import AllOf, Simulator
 
@@ -26,7 +27,12 @@ __all__ = ["IODispatcher"]
 
 
 class IODispatcher:
-    """Writes per-tag subsets through PLFS according to a placement policy."""
+    """Writes per-tag subsets through PLFS according to a placement policy.
+
+    Subset writes run under the retrier, so a transient backend failure is
+    retried with backoff rather than failing the ingest.  ``StorageFullError``
+    is *not* a fault -- it propagates straight to the spill logic.
+    """
 
     def __init__(
         self,
@@ -34,11 +40,13 @@ class IODispatcher:
         plfs: PLFS,
         placement: PlacementPolicy,
         spill_on_full: bool = True,
+        retrier: Optional[Retrier] = None,
     ):
         self.sim = sim
         self.plfs = plfs
         self.placement = placement
         self.spill_on_full = spill_on_full
+        self.retrier = retrier if retrier is not None else Retrier(sim)
         self.dispatched_bytes: Dict[str, float] = {}
         #: (logical, tag, preferred backend, actual backend) spill records.
         self.spills: List[Tuple[str, str, str, str]] = []
@@ -96,24 +104,30 @@ class IODispatcher:
             else None
         )
         try:
-            record: IndexRecord = yield from self.plfs.write_subset(
-                logical,
-                tag,
-                backend=preferred,
-                data=data,
-                nbytes=nbytes,
-                request_size=request_size,
+            record: IndexRecord = yield from self.retrier.call(
+                lambda: self.plfs.write_subset(
+                    logical,
+                    tag,
+                    backend=preferred,
+                    data=data,
+                    nbytes=nbytes,
+                    request_size=request_size,
+                ),
+                key=f"write:{logical}#{tag}",
             )
         except StorageFullError:
             if fallback is None:
                 raise
-            record = yield from self.plfs.write_subset(
-                logical,
-                tag,
-                backend=fallback,
-                data=data,
-                nbytes=nbytes,
-                request_size=request_size,
+            record = yield from self.retrier.call(
+                lambda: self.plfs.write_subset(
+                    logical,
+                    tag,
+                    backend=fallback,
+                    data=data,
+                    nbytes=nbytes,
+                    request_size=request_size,
+                ),
+                key=f"spill:{logical}#{tag}",
             )
             self.spills.append((logical, tag, preferred, fallback))
         size = record.nbytes

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
+from repro.faults.retry import Retrier
 from repro.fs.base import StoredObject
 from repro.fs.plfs import PLFS
 from repro.sim import AllOf, Simulator
@@ -23,23 +24,33 @@ BULK_REQUEST_SIZE = 4 * MiB
 
 
 class IORetriever:
-    """Reads subset chunks through PLFS with bulk request sizing."""
+    """Reads subset chunks through PLFS with bulk request sizing.
+
+    Every retrieval runs under the retrier: a transient backend failure --
+    including a checksum mismatch detected by PLFS, since corruption is
+    injected in flight -- triggers a backed-off re-read of the subset.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         plfs: PLFS,
         request_size: int = BULK_REQUEST_SIZE,
+        retrier: Optional[Retrier] = None,
     ):
         self.sim = sim
         self.plfs = plfs
         self.request_size = int(request_size)
+        self.retrier = retrier if retrier is not None else Retrier(sim)
         self.retrieved_bytes = 0.0
 
     def retrieve(self, logical: str, tag: str) -> Generator:
         """Process: read one tagged subset; returns a :class:`StoredObject`."""
-        obj: StoredObject = yield from self.plfs.read_subset(
-            logical, tag, request_size=self.request_size
+        obj: StoredObject = yield from self.retrier.call(
+            lambda: self.plfs.read_subset(
+                logical, tag, request_size=self.request_size
+            ),
+            key=f"read:{logical}#{tag}",
         )
         self.retrieved_bytes += obj.nbytes
         return obj

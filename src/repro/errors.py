@@ -66,8 +66,13 @@ class ContainerError(ReproError):
     """A PLFS container is malformed (missing subdirs, bad index records)."""
 
 
-class CodecError(ReproError):
-    """XTC-like codec failure (bad magic, truncated stream, bad precision)."""
+class CodecError(ReproError, ValueError):
+    """XTC-like codec failure (bad magic, truncated stream, bad precision).
+
+    Also a :class:`ValueError`: argument-domain failures (empty containers,
+    out-of-range frame windows, non-integer indices) are value errors to
+    callers that do not know the :mod:`repro` taxonomy.
+    """
 
 
 class TopologyError(ReproError):
@@ -80,3 +85,42 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid platform or scenario configuration."""
+
+
+class FaultError(ReproError):
+    """Base class for injected or detected I/O faults (see :mod:`repro.faults`).
+
+    The split below is the transient-vs-permanent classification the retry
+    layer keys on: :class:`TransientFaultError` subclasses are retried,
+    :class:`PermanentFaultError` subclasses are surfaced immediately.
+    """
+
+
+class TransientFaultError(FaultError):
+    """An operation failed in a way a retry can plausibly fix."""
+
+
+class PermanentFaultError(FaultError):
+    """An operation failed in a way no retry will fix (media gone, etc.)."""
+
+
+class CorruptionError(TransientFaultError):
+    """A checksummed payload came back altered (bit flip, short read).
+
+    Classified transient: the at-rest copy is intact, so a re-read serves
+    clean bytes -- the re-fetch path the streaming-MD pipelines use.
+    """
+
+
+class FaultTimeoutError(TransientFaultError):
+    """An operation exceeded its per-op deadline and was abandoned."""
+
+
+class RetryExhaustedError(PermanentFaultError):
+    """Bounded retries ran out; wraps the last transient failure as its
+    ``__cause__``.  Permanent from the caller's point of view."""
+
+
+class DegradedReadWarning(UserWarning):
+    """A read completed without an inactive-tier subset (documented
+    degradation, paper's MISC data): surfaced, never silent."""

@@ -43,6 +43,7 @@ Performance model (the materialized-mode hot path):
 from __future__ import annotations
 
 import math
+import operator
 import os
 import struct
 import zlib
@@ -101,6 +102,11 @@ _FLAG_STORED = 2
 # thermal kicks) don't widen the whole frame -- the same adaptivity real
 # xdr3dfcoord gets from its small/large escape scheme.
 _PAYLOAD_HEAD = struct.Struct("<HI")
+# Stored (non-deflated) payload bodies carry a trailing CRC-32: deflated
+# bodies are integrity-checked by zlib's adler32, and without an equivalent
+# a flipped bit in a stored P-frame would decode to silently wrong
+# coordinates instead of a typed error.
+_STORED_CRC = struct.Struct("<I")
 _BLOCK_VALUES = 8192
 _RAW_HEADER = struct.Struct("<iiqif")  # magic, natoms, nframes, reserved, dt
 
@@ -450,14 +456,19 @@ def _encode_delta_block(
     comp = zlib.compress(body, level)
     if not allow_stored or len(comp) < len(body) - len(body) // 16:
         return 0, comp
-    return _FLAG_STORED, body
+    return _FLAG_STORED, body + _STORED_CRC.pack(zlib.crc32(body))
 
 
 def _decode_delta_block(
     payload: bytes, expected_count: int, stored: bool = False
 ) -> np.ndarray:
     if stored:
-        raw = payload
+        if len(payload) < _STORED_CRC.size:
+            raise CodecError("stored payload shorter than its checksum")
+        raw = bytes(payload[: -_STORED_CRC.size])
+        (crc,) = _STORED_CRC.unpack_from(payload, len(payload) - _STORED_CRC.size)
+        if zlib.crc32(raw) != crc:
+            raise CodecError("stored payload checksum mismatch")
     else:
         try:
             raw = zlib.decompress(payload)
@@ -504,10 +515,13 @@ def _encode_frame_payload(
     previous frame, which are much smaller for equilibrated dynamics.
     """
     if prev_ints is None:
+        # The raw origin sits outside the deflate stream, so it needs its
+        # own CRC -- a flipped origin bit would otherwise silently shift
+        # every coordinate in the group of frames.
         origin = ints[0:1].astype("<i4").tobytes()
         deltas = np.diff(ints, axis=0)
         sflag, block = _encode_delta_block(deltas, level, allow_stored=False)
-        return sflag, origin + block
+        return sflag, origin + _STORED_CRC.pack(zlib.crc32(origin)) + block
     deltas = ints.astype(np.int64) - prev_ints.astype(np.int64)
     sflag, block = _encode_delta_block(deltas, level)
     return _FLAG_PFRAME | sflag, block
@@ -536,11 +550,15 @@ def _decode_frame_payload(
         np.add(deltas, prev_ints, out=deltas)  # deltas buffer is ours
         ints = deltas
     else:
-        if len(payload) < 12:
+        prefix = 12 + _STORED_CRC.size
+        if len(payload) < prefix:
             raise CodecError("I-frame payload missing origin")
+        (origin_crc,) = _STORED_CRC.unpack_from(payload, 12)
+        if zlib.crc32(bytes(payload[:12])) != origin_crc:
+            raise CodecError("I-frame origin checksum mismatch")
         origin = np.frombuffer(payload, dtype="<i4", count=3).astype(np.int64)
         deltas = _decode_delta_block(
-            payload[12:], (natoms - 1) * 3, stored
+            payload[prefix:], (natoms - 1) * 3, stored
         ).reshape(natoms - 1, 3)
         ints = np.empty((natoms, 3), dtype=np.int64)
         ints[0] = origin
@@ -866,6 +884,11 @@ def decode_frame_range(
     per-call header scan, making windowed playback O(window) instead of
     O(file) per window.
     """
+    try:
+        start = operator.index(start)
+        stop = operator.index(stop)
+    except TypeError as exc:
+        raise CodecError(f"frame range bounds must be integers: {exc}") from exc
     idx = index if index is not None else FrameIndex.build(data)
     nframes = len(idx)
     if not 0 <= start < stop <= nframes:

@@ -17,6 +17,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
+from repro.faults.plan import FaultDecision, FaultPlan, raise_fault
 from repro.fs.memfs import ObjectStore
 from repro.sim import Simulator
 
@@ -45,6 +46,7 @@ class FileSystem(ABC):
         self.store = ObjectStore()
         self.bytes_read = 0.0
         self.bytes_written = 0.0
+        self.faults: Optional[FaultPlan] = None
 
     # -- DES processes ------------------------------------------------------
 
@@ -87,6 +89,50 @@ class FileSystem(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, objects={len(self.store)})"
+
+    # -- fault injection ----------------------------------------------------
+
+    def attach_faults(self, plan: FaultPlan) -> "FileSystem":
+        """Route this file system's operations through a fault plan."""
+        self.faults = plan
+        return self
+
+    @property
+    def fault_site(self) -> str:
+        return f"fs:{self.name}"
+
+    def _fault_gate(self, op: str, path: str) -> Generator:
+        """Process: pay injected latency, raise injected errors.
+
+        Returns the :class:`FaultDecision` (or ``None`` with no plan
+        attached) so the read path can reuse it for payload effects.
+        Concrete file systems call this *before* mutating any state, so a
+        failed attempt is always safe to retry.
+        """
+        if self.faults is None:
+            return None
+        decision = self.faults.decide(self.fault_site, op)
+        if decision.latency_s > 0:
+            yield self.sim.timeout(decision.latency_s)
+        if decision.error is not None:
+            raise_fault(decision.error, self.fault_site, op, path)
+        return decision
+
+    def _fault_payload(
+        self, decision: Optional[FaultDecision], op: str, data: Optional[bytes]
+    ) -> Optional[bytes]:
+        """Apply in-flight payload effects (bit flip / short read) to a read.
+
+        Only the returned copy is perturbed -- the at-rest object stays
+        intact, so checksum-triggered re-reads observe clean bytes.
+        """
+        if decision is None or data is None or self.faults is None:
+            return data
+        if decision.short_read and data:
+            data = data[: self.faults.short_length(self.fault_site, op, len(data))]
+        if decision.corrupt and data:
+            data = self.faults.corrupt_payload(self.fault_site, op, data)
+        return data
 
     # -- shared internals -------------------------------------------------------
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.errors import FileNotFoundInFSError
+from repro.errors import FaultError, FileNotFoundInFSError
 from repro.fs.base import FileSystem, StoredObject
 from repro.sim import Simulator
 from repro.storage.device import Device, DeviceSpec
@@ -43,11 +43,18 @@ class LocalFS(FileSystem):
         request_size: Optional[int] = None,
         label: str = "write",
     ) -> Generator:
+        yield from self._fault_gate("write", path)
         size = self._payload_size(data, nbytes)
         self.device.allocate(size)
-        yield self.sim.timeout(self.metadata_latency_s)
-        requests = self._request_count(size, request_size)
-        yield from self.device.write(size, requests=requests, label=label)
+        try:
+            yield self.sim.timeout(self.metadata_latency_s)
+            requests = self._request_count(size, request_size)
+            yield from self.device.write(size, requests=requests, label=label)
+        except FaultError:
+            # A device-level injected failure: release the reservation so a
+            # retried write does not leak capacity.
+            self.device.free(size)
+            raise
         self.store.put(path, data=data, nbytes=size)
         self.bytes_written += size
         return StoredObject(path=path, nbytes=size, data=data)
@@ -58,6 +65,7 @@ class LocalFS(FileSystem):
         request_size: Optional[int] = None,
         label: str = "read",
     ) -> Generator:
+        decision = yield from self._fault_gate("read", path)
         if not self.store.exists(path):
             raise FileNotFoundInFSError(f"{self.name}: {path}")
         size = self.store.nbytes(path)
@@ -66,6 +74,7 @@ class LocalFS(FileSystem):
         yield from self.device.read(size, requests=requests, label=label)
         self.bytes_read += size
         data = None if self.store.is_virtual(path) else self.store.data(path)
+        data = self._fault_payload(decision, "read", data)
         return StoredObject(path=path, nbytes=size, data=data)
 
     def delete(self, path: str) -> int:

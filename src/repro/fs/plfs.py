@@ -15,10 +15,17 @@ consults to resolve a tag-selective read.
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import asdict, dataclass
 from typing import Dict, Generator, List, Optional
 
-from repro.errors import ConfigurationError, ContainerError, TagNotFoundError
+from repro.errors import (
+    ConfigurationError,
+    ContainerError,
+    CorruptionError,
+    FaultError,
+    TagNotFoundError,
+)
 from repro.fs.base import FileSystem, StoredObject
 from repro.sim import AllOf, Simulator
 
@@ -29,13 +36,18 @@ _INDEX_NAME = "index"
 
 @dataclass(frozen=True)
 class IndexRecord:
-    """One subset chunk inside a container."""
+    """One subset chunk inside a container.
+
+    ``crc`` is the zlib CRC-32 of the chunk's bytes, or ``-1`` when the
+    chunk is virtual (size-only) and there is nothing to checksum.
+    """
 
     tag: str
     backend: str
     path: str
     nbytes: int
     chunk: int = 0
+    crc: int = -1
 
 
 class PLFS:
@@ -143,10 +155,24 @@ class PLFS:
             path, data=data, nbytes=size, request_size=request_size, label="plfs"
         )
         record = IndexRecord(
-            tag=tag, backend=backend, path=path, nbytes=size, chunk=chunk
+            tag=tag,
+            backend=backend,
+            path=path,
+            nbytes=size,
+            chunk=chunk,
+            crc=zlib.crc32(data) if data is not None else -1,
         )
         records.append(record)
-        yield from self._flush_index(logical)
+        try:
+            yield from self._flush_index(logical)
+        except FaultError:
+            # Roll the chunk back so a dispatcher-level retry rewrites it
+            # cleanly instead of duplicating subset bytes.
+            records.pop()
+            backend_fs = self.backends[backend]
+            if backend_fs.exists(path):
+                backend_fs.delete(path)
+            raise
         return record
 
     def read_subset(
@@ -171,6 +197,14 @@ class PLFS:
             for r in records
         ]
         objs = yield AllOf(self.sim, procs)
+        for record, obj in zip(records, objs):
+            if record.crc == -1 or obj.data is None:
+                continue
+            if len(obj.data) != record.nbytes or zlib.crc32(obj.data) != record.crc:
+                raise CorruptionError(
+                    f"plfs: checksum mismatch reading {record.path} "
+                    f"(got {len(obj.data)} B, expected {record.nbytes} B)"
+                )
         total = sum(o.nbytes for o in objs)
         if any(o.is_virtual for o in objs):
             data = None

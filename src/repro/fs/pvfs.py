@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
-from repro.errors import ConfigurationError, FileNotFoundInFSError, StorageFullError
+from repro.errors import (
+    ConfigurationError,
+    FaultError,
+    FileNotFoundInFSError,
+    StorageFullError,
+)
 from repro.fs.base import FileSystem, StoredObject
 from repro.net.link import Link
 from repro.sim import AllOf, Simulator
@@ -89,6 +94,7 @@ class PVFS(FileSystem):
         request_size: Optional[int] = None,
         label: str = "write",
     ) -> Generator:
+        yield from self._fault_gate("write", path)
         size = self._payload_size(data, nbytes)
         layout = self.stripe_layout(size)
         # Check the whole layout before allocating anything so a mid-loop
@@ -102,17 +108,25 @@ class PVFS(FileSystem):
         for target, share in zip(self.targets, layout):
             if share:
                 target.device.allocate(share)
-        yield self.sim.timeout(self.metadata_latency_s)
-        procs = [
-            self.sim.process(
-                self._target_io(t, share, request_size, label, write=True),
-                name=f"{self.name}:write:{t.name}",
-            )
-            for t, share in zip(self.targets, layout)
-            if share
-        ]
-        if procs:
-            yield AllOf(self.sim, procs)
+        try:
+            yield self.sim.timeout(self.metadata_latency_s)
+            procs = [
+                self.sim.process(
+                    self._target_io(t, share, request_size, label, write=True),
+                    name=f"{self.name}:write:{t.name}",
+                )
+                for t, share in zip(self.targets, layout)
+                if share
+            ]
+            if procs:
+                yield AllOf(self.sim, procs)
+        except FaultError:
+            # A target-level injected failure: release every stripe
+            # reservation so a retried write starts from a clean slate.
+            for target, share in zip(self.targets, layout):
+                if share:
+                    target.device.free(share)
+            raise
         self.store.put(path, data=data, nbytes=size)
         self.bytes_written += size
         return StoredObject(path=path, nbytes=size, data=data)
@@ -123,6 +137,7 @@ class PVFS(FileSystem):
         request_size: Optional[int] = None,
         label: str = "read",
     ) -> Generator:
+        decision = yield from self._fault_gate("read", path)
         if not self.store.exists(path):
             raise FileNotFoundInFSError(f"{self.name}: {path}")
         size = self.store.nbytes(path)
@@ -140,6 +155,7 @@ class PVFS(FileSystem):
             yield AllOf(self.sim, procs)
         self.bytes_read += size
         data = None if self.store.is_virtual(path) else self.store.data(path)
+        data = self._fault_payload(decision, "read", data)
         return StoredObject(path=path, nbytes=size, data=data)
 
     def delete(self, path: str) -> int:

@@ -12,6 +12,7 @@ from repro.harness.calibration import (
     CalibrationReport,
     measure_calibration,
 )
+from repro.harness.chaos import ChaosReport, render_chaos, run_chaos
 from repro.harness.platforms import Platform, fat_node, small_cluster, ssd_server
 from repro.harness.scenarios import (
     SCENARIOS,
@@ -23,6 +24,7 @@ from repro.harness.report import Table, format_results, series_pivot
 
 __all__ = [
     "CalibrationReport",
+    "ChaosReport",
     "E5_2603V4",
     "E7_4820V3",
     "Platform",
@@ -33,6 +35,8 @@ __all__ = [
     "fat_node",
     "format_results",
     "measure_calibration",
+    "render_chaos",
+    "run_chaos",
     "run_point",
     "run_sweep",
     "series_pivot",

@@ -115,7 +115,7 @@ def legacy_decode_xtc(data: bytes) -> Trajectory:
         else:
             origin = np.frombuffer(payload, dtype="<i4", count=3).astype(np.int64)
             deltas = _legacy_decode_delta_block(
-                payload[12:], (natoms - 1) * 3, stored
+                payload[16:], (natoms - 1) * 3, stored
             ).reshape(natoms - 1, 3)
             ints = np.empty((natoms, 3), dtype=np.int64)
             ints[0] = origin

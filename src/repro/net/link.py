@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, raise_fault
 from repro.sim import BusyTracker, Resource, Simulator
 
 __all__ = ["LinkSpec", "Link"]
@@ -38,11 +39,32 @@ class Link:
         self.resource = Resource(sim, capacity=1, name=self.name)
         self.busy = BusyTracker(self.name)
         self.bytes_moved = 0.0
+        self.faults: Optional[FaultPlan] = None
+
+    def attach_faults(self, plan: FaultPlan) -> "Link":
+        """Route this link's transfers through a fault plan."""
+        self.faults = plan
+        return self
+
+    @property
+    def fault_site(self) -> str:
+        return f"link:{self.name}"
+
+    def _fault_gate(self, op: str) -> Generator:
+        """Process: injected latency / dropped-transfer error before send."""
+        if self.faults is None:
+            return
+        decision = self.faults.decide(self.fault_site, op)
+        if decision.latency_s > 0:
+            yield self.sim.timeout(decision.latency_s)
+        if decision.error is not None:
+            raise_fault(decision.error, self.fault_site, op)
 
     def transfer(
         self, nbytes: float, messages: int = 1, label: str = "xfer"
     ) -> Generator:
         """DES process: occupy the link while the payload streams."""
+        yield from self._fault_gate("xfer")
         with self.resource.request() as req:
             yield req
             start = self.sim.now

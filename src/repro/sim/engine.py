@@ -55,7 +55,7 @@ class Event:
     time.  Processes wait on events by ``yield``-ing them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -63,10 +63,27 @@ class Event:
         self._value: Any = None
         self._ok: bool = True
         self._triggered = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
         return self._triggered
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> "Event":
+        """Abandon a scheduled firing: a cancelled event's heap entry is
+        skipped without advancing time or running callbacks.
+
+        This is how a race winner discards the loser (e.g. a completed
+        operation cancelling its unexpired deadline) so the stale entry
+        does not drag the clock to its fire time when the heap drains.
+        """
+        self._cancelled = True
+        self.callbacks = []
+        return self
 
     @property
     def ok(self) -> bool:
@@ -314,6 +331,8 @@ class Simulator:
                 self._now = until
                 return self._now
             heapq.heappop(self._heap)
+            if event._cancelled:
+                continue
             if when < self._now - 1e-12:
                 raise SimulationError("event scheduled in the past")
             self._now = max(self._now, when)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 from typing import Generator, Optional
 
 from repro.errors import ConfigurationError, StorageFullError
+from repro.faults.plan import FaultPlan, raise_fault
 from repro.sim import BusyTracker, Resource, Simulator
 from repro.storage.power import DevicePower
 
@@ -66,10 +67,32 @@ class Device:
         self.resource = Resource(sim, capacity=1, name=self.name)
         self.busy = BusyTracker(self.name)
         self.used_bytes = 0.0
+        self.faults: Optional[FaultPlan] = None
 
     @property
     def free_bytes(self) -> float:
         return self.spec.capacity - self.used_bytes
+
+    # -- fault injection ------------------------------------------------------
+
+    def attach_faults(self, plan: FaultPlan) -> "Device":
+        """Route this device's operations through a fault plan."""
+        self.faults = plan
+        return self
+
+    @property
+    def fault_site(self) -> str:
+        return f"dev:{self.name}"
+
+    def _fault_gate(self, op: str) -> Generator:
+        """Process: injected latency spike / error before service begins."""
+        if self.faults is None:
+            return
+        decision = self.faults.decide(self.fault_site, op)
+        if decision.latency_s > 0:
+            yield self.sim.timeout(decision.latency_s)
+        if decision.error is not None:
+            raise_fault(decision.error, self.fault_site, op)
 
     def allocate(self, nbytes: float) -> None:
         """Reserve capacity for a write (raises when the device is full)."""
@@ -87,12 +110,14 @@ class Device:
 
     def read(self, nbytes: float, requests: int = 1, label: str = "read") -> Generator:
         """DES process: occupy the device for the read's service time."""
+        yield from self._fault_gate("read")
         yield from self._serve(self.spec.read_time(nbytes, requests), label)
 
     def write(
         self, nbytes: float, requests: int = 1, label: str = "write"
     ) -> Generator:
         """DES process: occupy the device for the write's service time."""
+        yield from self._fault_gate("write")
         yield from self._serve(self.spec.write_time(nbytes, requests), label)
 
     def _serve(self, duration: float, label: str) -> Generator:

@@ -1,0 +1,50 @@
+"""Coverage floor for the fault-injection subsystem.
+
+The fault layer is the code that runs precisely when everything else is
+going wrong, so untested lines there are untested *error handling*.  This
+gate keeps ``src/repro/faults/`` at >= 90% line coverage, measured with
+the stdlib ``trace`` module by ``_coverage_driver.py`` (the environment
+ships no coverage.py) in a subprocess so the tracer sees a fresh import.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+COVERAGE_FLOOR = 0.90
+_DRIVER = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "_coverage_driver.py")
+)
+
+
+def _run_driver():
+    env = dict(os.environ)
+    repo_src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(_DRIVER))), "src"
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (repo_src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, _DRIVER],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_faults_package_meets_coverage_floor():
+    report = _run_driver()
+    assert {"plan.py", "retry.py"} <= set(report), sorted(report)
+    shortfalls = {
+        name: f"{stats['ratio']:.1%} (missed lines {stats['missed']})"
+        for name, stats in report.items()
+        if stats["ratio"] < COVERAGE_FLOOR
+    }
+    assert not shortfalls, (
+        f"faults coverage below {COVERAGE_FLOOR:.0%}: {shortfalls}"
+    )

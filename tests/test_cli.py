@@ -8,7 +8,7 @@ from repro.cli import GENERATORS, main
 def test_list_prints_targets(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out.split()
-    assert set(out) == set(GENERATORS) | {"bench-codec"}
+    assert set(out) == set(GENERATORS) | {"bench-codec", "chaos"}
 
 
 def test_table2_to_stdout(capsys):

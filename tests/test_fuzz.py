@@ -24,7 +24,14 @@ from repro.formats import parse_pdb
 from repro.formats.dcd import decode_dcd
 from repro.formats.pdb import parse_pdb_models
 from repro.formats.trr import decode_trr
-from repro.formats.xtc import decode_raw, decode_xtc
+from repro.formats.xtc import (
+    FrameIndex,
+    decode_frame_range,
+    decode_raw,
+    decode_xtc,
+    encode_xtc,
+    iter_frame_infos,
+)
 from repro.vmd import SelectionError, select_mask
 from repro.workloads import build_workload
 
@@ -135,6 +142,102 @@ def test_fuzz_selection_parser(tokens):
         assert mask.dtype == bool
     except SelectionError:
         pass
+
+
+# -- XTC mutation fuzzing ----------------------------------------------------
+#
+# A multi-GOF stream (keyframe_interval=2) exercises both payload escape
+# paths: I-frames are always deflated (zlib adler32 protects them) and
+# P-frames may ship bit-packed bodies "stored" with a trailing CRC-32.
+# Either way, a flipped payload bit must never decode to silently wrong
+# coordinates.
+
+_FUZZ_WORKLOAD = build_workload(natoms=200, nframes=6, seed=3)
+_XTC_BLOB = encode_xtc(_FUZZ_WORKLOAD.trajectory, keyframe_interval=2)
+_XTC_ORIG = decode_xtc(_XTC_BLOB)
+_XTC_INFOS = list(iter_frame_infos(_XTC_BLOB))
+_PAYLOAD_SPANS = [
+    (i.offset + i.header_nbytes, i.offset + i.header_nbytes + i.payload_nbytes)
+    for i in _XTC_INFOS
+]
+_PAYLOAD_POSITIONS = [p for a, b in _PAYLOAD_SPANS for p in range(a, b)]
+_HEADER_POSITIONS = sorted(
+    set(range(len(_XTC_BLOB))) - set(_PAYLOAD_POSITIONS)
+)
+
+
+def _flipped(pos, bit):
+    mutant = bytearray(_XTC_BLOB)
+    mutant[pos] ^= 1 << bit
+    return bytes(mutant)
+
+
+@settings(**SETTINGS)
+@given(k=st.integers(min_value=0), bit=st.integers(0, 7))
+def test_fuzz_xtc_payload_bitflip_decodes_original_or_raises(k, bit):
+    """Checksummed payloads: a flipped bit is detected, never absorbed."""
+    pos = _PAYLOAD_POSITIONS[k % len(_PAYLOAD_POSITIONS)]
+    try:
+        traj = decode_xtc(_flipped(pos, bit))
+        assert np.array_equal(traj.coords, _XTC_ORIG.coords)
+    except CodecError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(k=st.integers(min_value=0), bit=st.integers(0, 7))
+def test_fuzz_xtc_header_bitflip_never_crashes_untyped(k, bit):
+    """Header flips may alter metadata but must fail typed, not crash."""
+    pos = _HEADER_POSITIONS[k % len(_HEADER_POSITIONS)]
+    try:
+        decode_xtc(_flipped(pos, bit))
+    except CodecError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(cut=st.integers(min_value=0))
+def test_fuzz_xtc_truncation_prefix_or_raises(cut):
+    """Any prefix decodes to an exact frame-prefix of the original, or
+    raises typed -- a tear never yields extra/garbled frames."""
+    prefix = _XTC_BLOB[: cut % (len(_XTC_BLOB) + 1)]
+    try:
+        traj = decode_xtc(prefix)
+    except CodecError:
+        return
+    nframes = traj.coords.shape[0]
+    assert np.array_equal(traj.coords, _XTC_ORIG.coords[:nframes])
+
+
+@settings(**SETTINGS)
+@given(start=st.integers(-10, 12), stop=st.integers(-10, 12))
+def test_fuzz_decode_frame_range_windows(start, stop):
+    """Valid windows decode exactly; invalid ones raise ValueError-typed
+    CodecError (never IndexError)."""
+    nframes = _XTC_ORIG.coords.shape[0]
+    if 0 <= start < stop <= nframes:
+        traj = decode_frame_range(_XTC_BLOB, start, stop)
+        assert np.array_equal(traj.coords, _XTC_ORIG.coords[start:stop])
+    else:
+        with pytest.raises(CodecError) as excinfo:
+            decode_frame_range(_XTC_BLOB, start, stop)
+        assert isinstance(excinfo.value, ValueError)
+
+
+@pytest.mark.parametrize("bounds", [(0.5, 2), (0, 1.5), (None, 2), ("0", 2)])
+def test_decode_frame_range_rejects_non_integer_bounds(bounds):
+    with pytest.raises(CodecError):
+        decode_frame_range(_XTC_BLOB, *bounds)
+
+
+def test_empty_container_raises_valueerror_not_indexerror():
+    for op in (
+        lambda: FrameIndex.build(b""),
+        lambda: decode_frame_range(b"", 0, 1),
+        lambda: decode_xtc(b""),
+    ):
+        with pytest.raises(ValueError):  # CodecError is a ValueError
+            op()
 
 
 @settings(**SETTINGS)
