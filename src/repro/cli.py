@@ -176,7 +176,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(GENERATORS) + ["all", "bench-codec", "chaos", "list"],
+        choices=sorted(GENERATORS)
+        + ["all", "bench-codec", "bench-pipeline", "chaos", "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -190,7 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = parser.add_argument_group("bench-codec options")
     bench.add_argument(
         "--json", action="store_true",
-        help="(bench-codec/chaos) write the JSON record instead of text",
+        help="(bench-codec/bench-pipeline/chaos) write the JSON record "
+             "instead of text",
     )
     bench.add_argument("--workers", type=int, default=0,
                        help="(bench-codec) GOF workers; 0 = one per CPU")
@@ -199,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--keyframe-interval", type=int, default=10)
     bench.add_argument("--repeats", type=int, default=3,
                        help="(bench-codec) best-of-N timing repeats")
+    pipe = parser.add_argument_group("bench-pipeline options")
+    pipe.add_argument("--nchunks", type=int, default=96,
+                      help="(bench-pipeline) PLFS chunks in the dataset")
+    pipe.add_argument("--frames-per-chunk", type=int, default=80,
+                      help="(bench-pipeline) trajectory frames per chunk")
+    pipe.add_argument("--window-chunks", type=int, default=8,
+                      help="(bench-pipeline) chunks per playback window")
     chaos = parser.add_argument_group("chaos options")
     chaos.add_argument("--seed", type=int, default=0,
                        help="(chaos) fault-plan / workload seed")
@@ -229,6 +238,35 @@ def _run_chaos(args) -> int:
     if not report.identical:
         print("repro: chaos run diverged from fault-free baseline",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_bench_pipeline(args) -> int:
+    from repro.harness.benchpipeline import (
+        render_pipeline_bench,
+        run_pipeline_bench,
+    )
+
+    result = run_pipeline_bench(
+        nchunks=args.nchunks,
+        frames_per_chunk=args.frames_per_chunk,
+        window_chunks=args.window_chunks,
+        seed=args.seed,
+    )
+    if args.json:
+        path = args.output or pathlib.Path("BENCH_pipeline.json")
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        text = render_pipeline_bench(result)
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    if not result["pass"]:
+        print("repro: bench-pipeline below its floors", file=sys.stderr)
         return 1
     return 0
 
@@ -268,10 +306,13 @@ def main(argv=None) -> int:
         for name in sorted(GENERATORS):
             print(name)
         print("bench-codec")
+        print("bench-pipeline")
         print("chaos")
         return 0
     if args.target == "bench-codec":
         return _run_bench_codec(args)
+    if args.target == "bench-pipeline":
+        return _run_bench_pipeline(args)
     if args.target == "chaos":
         return _run_chaos(args)
     if args.target == "all":

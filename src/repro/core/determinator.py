@@ -17,6 +17,7 @@ from repro.core.retriever import IORetriever
 from repro.core.tags import PlacementPolicy
 from repro.faults.retry import Retrier, RetryPolicy, RetryStats
 from repro.fs.base import StoredObject
+from repro.fs.cache import BlockCache
 from repro.fs.plfs import PLFS
 from repro.sim import Simulator
 
@@ -41,6 +42,9 @@ class IODeterminator:
         spill_on_full: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         retry_stats: Optional[RetryStats] = None,
+        block_cache: Optional[BlockCache] = None,
+        coalesce: bool = False,
+        serial_requests: bool = False,
     ):
         self.sim = sim
         self.plfs = plfs
@@ -54,7 +58,10 @@ class IODeterminator:
         kwargs = {}
         if retriever_request_size is not None:
             kwargs["request_size"] = retriever_request_size
-        self.retriever = IORetriever(sim, plfs, retrier=self.retrier, **kwargs)
+        self.retriever = IORetriever(
+            sim, plfs, retrier=self.retrier, cache=block_cache,
+            coalesce=coalesce, serial_requests=serial_requests, **kwargs,
+        )
 
     # -- write path ---------------------------------------------------------
 

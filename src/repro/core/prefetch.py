@@ -1,0 +1,194 @@
+"""Adaptive chunk prefetch: overlap the next window's I/O with decode.
+
+Streaming-MD pipelines show that *overlap of fetch and decode*, not raw
+device speed, dominates end-to-end trajectory throughput.  The
+:class:`Prefetcher` provides that overlap for ADA's chunked read path: it
+watches the chunk windows a playback consumer demands, and once the access
+pattern is confirmed sequential (or strided -- skip-frame playback), it
+speculatively reads the *next* window into the shared
+:class:`~repro.fs.cache.BlockCache` as a background DES process while the
+consumer decodes the current one.
+
+Speculation is guarded by two watermarks:
+
+* **cache pressure** -- when L1 occupancy crosses ``high_watermark`` the
+  prefetcher stands down rather than evict blocks the consumer still
+  wants (speculation must never worsen the demand hit rate);
+* **fault degradation** -- when the retry layer reports new transient
+  faults/timeouts/degraded reads since the last window, the backend is
+  struggling; speculative load would compound the damage, so the
+  prefetcher backs off until a clean window passes.
+
+Prefetched blocks ride the same retry + per-chunk CRC path as demand
+reads, so a chaos run with prefetch on remains bit-identical to one with
+it off -- the property ``tests/faults`` asserts across seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.retriever import IORetriever
+from repro.errors import ConfigurationError, FaultError
+from repro.sim import Process, Simulator
+
+__all__ = ["Prefetcher"]
+
+
+class _StreamState:
+    """Per-(logical, tag) access-pattern tracker."""
+
+    __slots__ = ("last_start", "last_len", "stride", "confirmed")
+
+    def __init__(self) -> None:
+        self.last_start: Optional[int] = None
+        self.last_len = 0
+        self.stride: Optional[int] = None
+        self.confirmed = False
+
+
+class Prefetcher:
+    """Stride-detecting, watermark-guarded block prefetcher.
+
+    ``observe`` is called by the demand path after each window fetch; it
+    never blocks the caller -- speculative reads run as independent sim
+    processes whose only output is a warmer cache.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        retriever: IORetriever,
+        high_watermark: float = 0.85,
+        degradation_source: Optional[Callable[[], float]] = None,
+        max_inflight: int = 1,
+    ):
+        if not 0.0 < high_watermark <= 1.0:
+            raise ConfigurationError(
+                f"prefetch watermark {high_watermark!r} outside (0, 1]"
+            )
+        self.sim = sim
+        self.retriever = retriever
+        self.high_watermark = float(high_watermark)
+        self.degradation_source = degradation_source
+        self.max_inflight = int(max_inflight)
+        self._streams: Dict[Tuple[str, str], _StreamState] = {}
+        self._inflight: list = []
+        self._last_degradation: Optional[float] = None
+        self.issued = 0  # speculative windows launched
+        self.chunks_requested = 0
+        self.suppressed_pressure = 0
+        self.suppressed_degraded = 0
+        self.suppressed_pattern = 0  # no confirmed stride yet / random access
+        self.suppressed_inflight = 0
+        self.failed = 0  # speculative reads that hit a permanent fault
+
+    # -- the demand-path hook ------------------------------------------------
+
+    def observe(
+        self, logical: str, tag: str, chunks: Sequence[int]
+    ) -> Optional[Process]:
+        """Record a demand window; maybe launch the next window's prefetch.
+
+        Returns the background :class:`Process` when one was launched
+        (callers never need to wait on it) or ``None`` when speculation
+        was suppressed.
+        """
+        if not chunks:
+            return None
+        start, span = min(chunks), len(chunks)
+        state = self._streams.setdefault((logical, tag), _StreamState())
+        self._advance_pattern(state, start, span)
+        if not state.confirmed:
+            self.suppressed_pattern += 1
+            return None
+        if self._degraded():
+            self.suppressed_degraded += 1
+            return None
+        cache = self.retriever.cache
+        if cache is None or cache.pressure() >= self.high_watermark:
+            self.suppressed_pressure += 1
+            return None
+        self._inflight = [p for p in self._inflight if p.is_alive]
+        if len(self._inflight) >= self.max_inflight:
+            self.suppressed_inflight += 1
+            return None
+        next_start = start + state.stride
+        targets = [c for c in range(next_start, next_start + span) if c >= 0]
+        if not targets:
+            return None
+        self.issued += 1
+        self.chunks_requested += len(targets)
+        proc = self.sim.process(
+            self._prefetch(logical, tag, targets),
+            name=f"prefetch:{logical}#{tag}:{next_start}",
+        )
+        self._inflight.append(proc)
+        return proc
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "issued": self.issued,
+            "chunks_requested": self.chunks_requested,
+            "suppressed_pressure": self.suppressed_pressure,
+            "suppressed_degraded": self.suppressed_degraded,
+            "suppressed_pattern": self.suppressed_pattern,
+            "suppressed_inflight": self.suppressed_inflight,
+            "failed": self.failed,
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance_pattern(
+        self, state: _StreamState, start: int, span: int
+    ) -> None:
+        """Sequential/strided detection over successive window starts.
+
+        Two same-stride steps confirm a pattern; any break (rocking
+        playback, random seeks) resets confirmation, reproducing the
+        paper's observation that random access defeats readahead.
+        """
+        if state.last_start is not None:
+            stride = start - state.last_start
+            if stride != 0 and stride == state.stride:
+                state.confirmed = True
+            else:
+                state.confirmed = False
+                state.stride = stride if stride != 0 else None
+        state.last_start = start
+        state.last_len = span
+
+    def _degraded(self) -> bool:
+        """Has the fault layer reported new trouble since the last look?"""
+        if self.degradation_source is None:
+            return False
+        level = float(self.degradation_source())
+        previous, self._last_degradation = self._last_degradation, level
+        return previous is not None and level > previous
+
+    def _prefetch(self, logical: str, tag: str, targets: Sequence[int]):
+        """Process: the speculative read itself; absorbs 'chunk gone'.
+
+        The window prediction can run past the end of the subset (or race
+        a concurrent ``remove``); that is an expected miss, not an error,
+        so the process filters to chunks that exist and swallows nothing
+        else -- fault errors propagate through the retriever's retry
+        machinery exactly as demand reads do.
+        """
+        existing = {
+            r.chunk for r in self.retriever.plfs.subset_records(logical, tag)
+        }
+        targets = [c for c in targets if c in existing]
+        if not targets:
+            return 0
+        try:
+            count = yield from self.retriever.prefetch_chunks(
+                logical, tag, targets
+            )
+        except FaultError:
+            # Speculation is best-effort: a permanent failure here must not
+            # crash anything -- the demand read will surface it (or route
+            # around it via graceful degradation) when it actually matters.
+            self.failed += 1
+            return 0
+        return count

@@ -5,16 +5,36 @@ via the dataset paths that are passed by the indexer" (§3.3).  Reads use
 bulk (multi-megabyte) requests: ADA's subset files are log-structured and
 contiguous, so the retriever does not pay the per-small-request tax a
 frame-by-frame reader incurs on a striped file system.
+
+The pipelined read path adds two opt-in accelerators on top of PR 2's
+retry/CRC machinery:
+
+* a **tiered block cache** (:class:`~repro.fs.cache.BlockCache`): chunks
+  are keyed ``(logical, tag, chunk)``; hits serve at memory (L1) or
+  SSD-class (L2) speed and verified backend reads are admitted on the way
+  out, so every consumer -- ``fetch``, ``fetch_all``, ``fetch_merged``,
+  the prefetcher -- shares one working set;
+* **request coalescing**: chunk records that are adjacent on the same
+  backend merge into a single span read (one metadata op, one
+  seek-amortized transfer).  Retry and CRC semantics are preserved *per
+  coalesced range*: each chunk inside a span is checksummed individually
+  and a mismatch re-reads only that span.
+
+Both default off, leaving the calibrated figure scenarios byte-for-byte
+(and second-for-second) unchanged; ``ADA`` enables them when configured
+with a block cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, List, Optional, Sequence
 
+from repro.errors import ContainerError, FaultError
 from repro.faults.retry import Retrier
 from repro.fs.base import StoredObject
-from repro.fs.plfs import PLFS
-from repro.sim import AllOf, Simulator
+from repro.fs.cache import DERIVED_SUBSET, BlockCache, BlockKey
+from repro.fs.plfs import PLFS, IndexRecord
+from repro.sim import AllOf, Process, Simulator
 from repro.units import MiB
 
 __all__ = ["IORetriever", "BULK_REQUEST_SIZE"]
@@ -28,7 +48,12 @@ class IORetriever:
 
     Every retrieval runs under the retrier: a transient backend failure --
     including a checksum mismatch detected by PLFS, since corruption is
-    injected in flight -- triggers a backed-off re-read of the subset.
+    injected in flight -- triggers a backed-off re-read.  With coalescing
+    enabled the retry unit is the coalesced run, not the whole subset.
+
+    ``serial_requests`` forces one synchronous chunk request at a time
+    (no per-chunk concurrency, no coalescing) -- the pre-pipelining
+    baseline the ``bench-pipeline`` harness measures against.
     """
 
     def __init__(
@@ -37,23 +62,83 @@ class IORetriever:
         plfs: PLFS,
         request_size: int = BULK_REQUEST_SIZE,
         retrier: Optional[Retrier] = None,
+        cache: Optional[BlockCache] = None,
+        coalesce: bool = False,
+        serial_requests: bool = False,
     ):
         self.sim = sim
         self.plfs = plfs
         self.request_size = int(request_size)
         self.retrier = retrier if retrier is not None else Retrier(sim)
+        self.cache = cache
+        self.coalesce = coalesce
+        self.serial_requests = serial_requests
         self.retrieved_bytes = 0.0
+        self.cache_served_bytes = 0.0
+        self.coalesced_runs = 0  # spans issued with > 1 chunk
+        self.coalesced_chunks = 0  # chunks that rode in those spans
+        self.requests_saved = 0  # backend requests coalescing removed
+        self.prefetched_chunks = 0  # chunks admitted speculatively
+        self.dedup_waits = 0  # demand reads that joined an in-flight read
+        #: Chunk reads currently in flight, so a demand read overlapping a
+        #: prefetch (or a concurrent consumer) joins the existing read
+        #: instead of double-issuing it on the device queue.
+        self._inflight: Dict[BlockKey, Process] = {}
+
+    @property
+    def pipelined(self) -> bool:
+        """Is any pipelined-read feature (cache/coalescing) active?"""
+        return self.cache is not None or self.coalesce
+
+    def coalesce_stats(self) -> Dict[str, object]:
+        return {
+            "enabled": self.coalesce,
+            "coalesced_runs": self.coalesced_runs,
+            "coalesced_chunks": self.coalesced_chunks,
+            "requests_saved": self.requests_saved,
+        }
+
+    # -- subset retrieval ---------------------------------------------------
 
     def retrieve(self, logical: str, tag: str) -> Generator:
         """Process: read one tagged subset; returns a :class:`StoredObject`."""
-        obj: StoredObject = yield from self.retrier.call(
-            lambda: self.plfs.read_subset(
-                logical, tag, request_size=self.request_size
-            ),
-            key=f"read:{logical}#{tag}",
-        )
-        self.retrieved_bytes += obj.nbytes
-        return obj
+        if not self.pipelined and not self.serial_requests:
+            # Legacy path: identical timing to the pre-pipeline reader.
+            obj: StoredObject = yield from self.retrier.call(
+                lambda: self.plfs.read_subset(
+                    logical, tag, request_size=self.request_size
+                ),
+                key=f"read:{logical}#{tag}",
+            )
+            self.retrieved_bytes += obj.nbytes
+            return obj
+        if self.cache is not None:
+            # Derived whole-subset entry: a repeat fetch of a multi-chunk
+            # subset serves one assembled block instead of re-walking (and
+            # re-joining) every chunk.  ``ingest_append`` invalidates these.
+            derived = yield from self.cache.lookup(
+                (logical, tag, DERIVED_SUBSET)
+            )
+            if derived is not None:
+                self.retrieved_bytes += derived.nbytes
+                self.cache_served_bytes += derived.nbytes
+                return StoredObject(
+                    path=f"{logical}#{tag}",
+                    nbytes=derived.nbytes,
+                    data=derived.data,
+                )
+        objs = yield from self.retrieve_chunks(logical, tag)
+        total = sum(o.nbytes for o in objs)
+        if any(o.is_virtual for o in objs):
+            data = None
+        elif len(objs) == 1:
+            data = objs[0].data  # zero-copy: no join for single-chunk subsets
+        else:
+            data = b"".join(o.data for o in objs)
+        if self.cache is not None and len(objs) > 1:
+            self.cache.admit((logical, tag, DERIVED_SUBSET), total, data=data)
+        self.retrieved_bytes += total
+        return StoredObject(path=f"{logical}#{tag}", nbytes=total, data=data)
 
     def retrieve_all(self, logical: str) -> Generator:
         """Process: read every subset concurrently; returns ``{tag: obj}``."""
@@ -66,3 +151,216 @@ class IORetriever:
         ]
         objs = yield AllOf(self.sim, procs)
         return dict(zip(tags, objs))
+
+    # -- chunk-granular retrieval (the pipelined primitive) -----------------
+
+    def retrieve_chunks(
+        self,
+        logical: str,
+        tag: str,
+        chunks: Optional[Sequence[int]] = None,
+        prefetched: bool = False,
+    ) -> Generator:
+        """Process: read selected chunks of one subset, cache-aware.
+
+        ``chunks=None`` means every chunk.  Cache hits pay their tier's
+        service time; misses are grouped into backend-contiguous runs,
+        each read (coalesced when enabled) under its own retry key, CRC
+        verified per chunk, and admitted into the cache.  Returns the
+        per-chunk :class:`StoredObject` list in chunk order -- callers
+        that need the subset as one buffer join it themselves, callers
+        that decode per chunk (``fetch_merged``, streaming playback)
+        consume the buffers zero-copy.
+        """
+        records = self.plfs.subset_records(logical, tag)
+        if chunks is not None:
+            wanted = set(chunks)
+            records = [r for r in records if r.chunk in wanted]
+            missing = wanted - {r.chunk for r in records}
+            if missing:
+                raise ContainerError(
+                    f"{logical}#{tag}: no chunk(s) {sorted(missing)}"
+                )
+        out: List[Optional[StoredObject]] = [None] * len(records)
+        to_read: List[int] = []  # positions in `records` that missed
+        waits: Dict[int, Process] = {}  # positions someone else is reading
+        for pos, record in enumerate(records):
+            if self.cache is None:
+                to_read.append(pos)
+                continue
+            block = yield from self.cache.lookup(
+                (logical, tag, record.chunk)
+            )
+            if block is not None:
+                out[pos] = StoredObject(
+                    path=record.path, nbytes=block.nbytes, data=block.data
+                )
+                self.cache_served_bytes += block.nbytes
+                continue
+            inflight = self._inflight.get((logical, tag, record.chunk))
+            if inflight is not None and inflight.is_alive:
+                waits[pos] = inflight
+            else:
+                to_read.append(pos)
+        runs = self._runs(records, to_read)
+        if self.serial_requests:
+            for run in runs:
+                objs = yield from self._read_run(
+                    logical, tag, records, run, prefetched
+                )
+                for pos, obj in zip(run, objs):
+                    out[pos] = obj
+        else:
+            procs: List[Process] = []
+            for run in runs:
+                proc = self.sim.process(
+                    self._read_run(logical, tag, records, run, prefetched),
+                    name=f"retrieve:{logical}#{tag}:{records[run[0]].chunk}",
+                )
+                for pos in run:
+                    self._inflight[(logical, tag, records[pos].chunk)] = proc
+                procs.append(proc)
+            results = yield AllOf(self.sim, procs)
+            for run, objs, proc in zip(runs, results, procs):
+                for pos, obj in zip(run, objs):
+                    key = (logical, tag, records[pos].chunk)
+                    if self._inflight.get(key) is proc:
+                        del self._inflight[key]
+                    out[pos] = obj
+        if waits:
+            yield from self._join_inflight(logical, tag, records, waits, out)
+        return list(out)
+
+    def _join_inflight(
+        self,
+        logical: str,
+        tag: str,
+        records: List[IndexRecord],
+        waits: Dict[int, Process],
+        out: List[Optional[StoredObject]],
+    ) -> Generator:
+        """Process: ride out another consumer's in-flight reads.
+
+        A demand read overlapping a prefetch of the same chunks waits for
+        that read to finish and serves from the freshly admitted blocks --
+        a failed or evicted in-flight read degrades to a private re-read,
+        so the wait can only ever save device traffic, never lose data.
+        """
+        self.dedup_waits += len(waits)
+        pending = [p for p in set(waits.values()) if p.is_alive]
+        if pending:
+            try:
+                yield AllOf(self.sim, pending)
+            except FaultError:
+                pass  # the owner saw the failure; we re-read below
+        for pos in waits:
+            if out[pos] is not None:
+                continue
+            record = records[pos]
+            block = yield from self.cache.lookup((logical, tag, record.chunk))
+            if block is not None:
+                out[pos] = StoredObject(
+                    path=record.path, nbytes=block.nbytes, data=block.data
+                )
+                self.cache_served_bytes += block.nbytes
+            else:
+                objs = yield from self._read_run(
+                    logical, tag, records, [pos], False
+                )
+                out[pos] = objs[0]
+
+    def prefetch_chunks(
+        self, logical: str, tag: str, chunks: Sequence[int]
+    ) -> Generator:
+        """Process: warm the block cache with chunks not yet resident.
+
+        The speculative read path of the adaptive prefetcher: it pays the
+        same backend costs as demand reads (same retry/CRC semantics) but
+        marks admitted blocks ``prefetched`` so the cache can account for
+        useful vs. wasted speculation.
+        """
+        if self.cache is None:
+            return 0
+        records = self.plfs.subset_records(logical, tag)
+        wanted = set(chunks)
+        cold = [
+            r.chunk
+            for r in records
+            if r.chunk in wanted and not self.cache.peek((logical, tag, r.chunk))
+        ]
+        if not cold:
+            return 0
+        objs = yield from self.retrieve_chunks(
+            logical, tag, chunks=cold, prefetched=True
+        )
+        self.prefetched_chunks += len(objs)
+        return len(objs)
+
+    # -- internals ----------------------------------------------------------
+
+    def _runs(
+        self, records: List[IndexRecord], positions: List[int]
+    ) -> List[List[int]]:
+        """Group missed positions into coalescible runs.
+
+        A run is a maximal stretch of positions that are consecutive in
+        the subset's chunk order and whose chunks live on one backend --
+        exactly the stretches that are adjacent in the backend's
+        log-structured layout.  Without coalescing (or in serial mode)
+        every chunk is its own run.
+        """
+        if not self.coalesce or self.serial_requests:
+            return [[pos] for pos in positions]
+        runs: List[List[int]] = []
+        for pos in positions:
+            if (
+                runs
+                and pos == runs[-1][-1] + 1
+                and records[pos].backend == records[runs[-1][-1]].backend
+            ):
+                runs[-1].append(pos)
+            else:
+                runs.append([pos])
+        return runs
+
+    def _read_run(
+        self,
+        logical: str,
+        tag: str,
+        records: List[IndexRecord],
+        run: List[int],
+        prefetched: bool,
+    ) -> Generator:
+        """Process: one retried, CRC-verified read of a chunk run.
+
+        Verified blocks are admitted into the cache *here*, before the
+        run's process completes -- so a consumer that joined this read
+        via :attr:`_inflight` finds them resident the moment it resumes.
+        """
+        run_records = [records[pos] for pos in run]
+        first, last = run_records[0].chunk, run_records[-1].chunk
+        key = f"read:{logical}#{tag}:{first}" + (
+            f"-{last}" if last != first else ""
+        )
+        coalesced = self.coalesce and len(run_records) > 1
+        objs = yield from self.retrier.call(
+            lambda: self.plfs.read_chunk_run(
+                run_records,
+                request_size=self.request_size,
+                coalesce=coalesced,
+            ),
+            key=key,
+        )
+        if coalesced:
+            self.coalesced_runs += 1
+            self.coalesced_chunks += len(run_records)
+            self.requests_saved += len(run_records) - 1
+        if self.cache is not None:
+            for record, obj in zip(run_records, objs):
+                self.cache.admit(
+                    (logical, tag, record.chunk),
+                    obj.nbytes,
+                    data=obj.data,
+                    prefetched=prefetched,
+                )
+        return objs

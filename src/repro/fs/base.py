@@ -70,6 +70,28 @@ class FileSystem(ABC):
     ) -> Generator:
         """Process: fetch an object; returns a :class:`StoredObject`."""
 
+    def read_span(
+        self,
+        paths: List[str],
+        request_size: Optional[int] = None,
+        label: str = "read",
+    ) -> Generator:
+        """Process: read several objects as one coalesced span.
+
+        The base implementation reads each path in turn (no coalescing
+        win); backends with a single underlying device override it to
+        charge one metadata operation and one seek-amortized transfer for
+        the whole span.  Returns the :class:`StoredObject` list in
+        ``paths`` order.
+        """
+        objs: List[StoredObject] = []
+        for path in paths:
+            obj = yield from self.read(
+                path, request_size=request_size, label=label
+            )
+            objs.append(obj)
+        return objs
+
     # -- synchronous helpers --------------------------------------------------
 
     def exists(self, path: str) -> bool:

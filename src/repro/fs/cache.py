@@ -1,29 +1,50 @@
-"""Page-cache wrapper around a file system.
+"""Caching layers: the page-cache FS wrapper and the tiered block cache.
 
-The paper's sharpest point is that *caching and faster media don't help*:
-even with the compressed file fully resident, the C path still pays full
-decompression on every load ("a time-consuming repeated effort", §1).
-:class:`CachedFS` makes that argument quantitative -- it serves repeat
-reads at memory bandwidth, and the page-cache ablation bench shows the
-traditional turnaround barely moves while ADA's lead stands.
+Two distinct caches live here:
 
-LRU over whole objects (VMD reads whole files), capacity in bytes.
+* :class:`CachedFS` -- the paper's *counter-argument* device.  The paper's
+  sharpest point is that caching and faster media don't help the
+  traditional path: even with the compressed file fully resident, the C
+  path still pays full decompression on every load ("a time-consuming
+  repeated effort", §1).  ``CachedFS`` makes that argument quantitative --
+  it serves repeat reads at memory bandwidth, and the page-cache ablation
+  bench shows the traditional turnaround barely moves while ADA's lead
+  stands.  LRU over whole objects (VMD reads whole files), capacity in
+  bytes.
+
+* :class:`BlockCache` -- ADA's *own* read accelerator.  A two-level
+  (memory over SSD) cache keyed by PLFS ``(logical, tag, chunk)`` blocks,
+  shared by ``ADA.fetch`` / ``fetch_all`` / ``fetch_merged`` and warmed by
+  the adaptive prefetcher.  L1 serves at memory bandwidth; blocks evicted
+  from L1 demote to an SSD-class L2 before leaving the cache entirely.
+  Hit/miss/eviction counters surface through ``ADA.stats()``; the
+  :meth:`BlockCache.pressure` watermark is what the prefetcher consults
+  before issuing speculative reads.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generator, Optional
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.fs.base import FileSystem, StoredObject
-from repro.units import gbps
+from repro.units import MiB, gbps
 
-__all__ = ["CachedFS"]
+__all__ = ["CachedFS", "BlockCache", "BlockKey", "CachedBlock", "DERIVED_SUBSET"]
 
 
 class CachedFS(FileSystem):
-    """LRU page cache in front of another file system."""
+    """LRU page cache in front of another file system.
+
+    Coherence contract: a ``write`` to a cached path *invalidates* the
+    cached entry synchronously, before any backend time is charged, and
+    re-admits the object only once the backend write has completed.  A
+    read that overlaps the write therefore either misses (and queues on
+    the backend behind the write) or serves the consistent pre-write
+    snapshot -- never a torn object whose size and bytes disagree.
+    """
 
     def __init__(
         self,
@@ -42,6 +63,7 @@ class CachedFS(FileSystem):
         self._lru: "OrderedDict[str, int]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     @property
     def cached_bytes(self) -> float:
@@ -53,9 +75,10 @@ class CachedFS(FileSystem):
     def invalidate(self, path: Optional[str] = None) -> None:
         """Drop one path (or everything) from the cache."""
         if path is None:
+            self.invalidations += len(self._lru)
             self._lru.clear()
-        else:
-            self._lru.pop(self.store.normalize(path), None)
+        elif self._lru.pop(self.store.normalize(path), None) is not None:
+            self.invalidations += 1
 
     # -- FS interface -----------------------------------------------------
 
@@ -67,6 +90,9 @@ class CachedFS(FileSystem):
         request_size: Optional[int] = None,
         label: str = "write",
     ) -> Generator:
+        # Invalidate *before* the backend write is charged: a concurrent
+        # reader must not hit a cache entry the write is about to replace.
+        self.invalidate(path)
         # Write-through; the written object becomes cache-resident.
         obj = yield from self.inner.write(
             path, data=data, nbytes=nbytes, request_size=request_size, label=label
@@ -85,10 +111,13 @@ class CachedFS(FileSystem):
         if key in self._lru:
             self.hits += 1
             self._lru.move_to_end(key)
+            # Snapshot size *and* bytes before sleeping: the hit serves the
+            # cached copy as of the request, not whatever a concurrent
+            # writer leaves behind mid-transfer.
             size = self.store.nbytes(key)
+            data = None if self.store.is_virtual(key) else self.store.data(key)
             yield self.sim.timeout(size / self.memory_bandwidth)
             self.bytes_read += size
-            data = None if self.store.is_virtual(key) else self.store.data(key)
             return StoredObject(path=path, nbytes=size, data=data)
         self.misses += 1
         obj = yield from self.inner.read(
@@ -99,10 +128,239 @@ class CachedFS(FileSystem):
         return obj
 
     def _admit(self, path: str, nbytes: int) -> None:
-        if nbytes > self.capacity_bytes:
-            return  # larger than the whole cache: bypass
         key = self.store.normalize(path)
+        if nbytes > self.capacity_bytes:
+            # Larger than the whole cache: bypass -- but never leave a
+            # stale smaller entry behind for the same path.
+            self._lru.pop(key, None)
+            return
         self._lru[key] = nbytes
         self._lru.move_to_end(key)
         while self.cached_bytes > self.capacity_bytes:
             self._lru.popitem(last=False)
+
+
+# ---------------------------------------------------------------------------
+# Tiered block cache (the pipelined read path's L1/L2)
+# ---------------------------------------------------------------------------
+
+#: Cache key: one PLFS subset chunk.
+BlockKey = Tuple[str, str, int]
+
+#: Chunk number used for *derived* whole-subset entries: the assembled
+#: (chunk-concatenated) subset a repeat ``fetch`` serves as one block.
+#: Real chunk numbers are >= 0, so -1 can never collide.  Derived entries
+#: must be invalidated whenever new chunks land (``ingest_append``).
+DERIVED_SUBSET = -1
+
+
+@dataclass
+class CachedBlock:
+    """One resident block: size always, bytes when materialized."""
+
+    nbytes: int
+    data: Optional[bytes] = None
+    prefetched: bool = False  # admitted speculatively, not yet used
+
+
+class BlockCache:
+    """Two-level LRU block cache over ``(logical, tag, chunk)`` keys.
+
+    * **L1 (memory)** serves hits at ``l1_bandwidth`` with no fixed
+      latency -- the block is already in the reader's address space.
+    * **L2 (SSD-class)** holds blocks demoted from L1; a hit pays
+      ``l2_latency_s`` plus ``nbytes / l2_bandwidth`` and promotes the
+      block back to L1.
+
+    ``lookup`` is a DES process (it charges simulated time); ``admit`` /
+    ``invalidate`` are synchronous bookkeeping, matching the repo's
+    convention that metadata mutation is free while data movement pays.
+    """
+
+    def __init__(
+        self,
+        sim,
+        l1_capacity_bytes: float = 64 * MiB,
+        l2_capacity_bytes: float = 0.0,
+        l1_bandwidth: float = gbps(6.0),
+        l2_bandwidth: float = gbps(2.0),
+        l2_latency_s: float = 80e-6,
+    ):
+        if l1_capacity_bytes <= 0:
+            raise ConfigurationError("block cache L1 capacity must be positive")
+        if l2_capacity_bytes < 0:
+            raise ConfigurationError("block cache L2 capacity must be >= 0")
+        if l1_bandwidth <= 0 or l2_bandwidth <= 0:
+            raise ConfigurationError("block cache bandwidths must be positive")
+        if l2_latency_s < 0:
+            raise ConfigurationError("block cache L2 latency must be >= 0")
+        self.sim = sim
+        self.l1_capacity_bytes = float(l1_capacity_bytes)
+        self.l2_capacity_bytes = float(l2_capacity_bytes)
+        self.l1_bandwidth = float(l1_bandwidth)
+        self.l2_bandwidth = float(l2_bandwidth)
+        self.l2_latency_s = float(l2_latency_s)
+        self._l1: "OrderedDict[BlockKey, CachedBlock]" = OrderedDict()
+        self._l2: "OrderedDict[BlockKey, CachedBlock]" = OrderedDict()
+        self.hits_l1 = 0
+        self.hits_l2 = 0
+        self.misses = 0
+        self.demotions = 0  # L1 -> L2 evictions
+        self.evictions = 0  # blocks that left the cache entirely
+        self.invalidations = 0
+        self.prefetch_hits = 0  # hits on blocks a prefetcher admitted
+        self.prefetch_wasted = 0  # prefetched blocks evicted unused
+
+    # -- capacity accounting ----------------------------------------------
+
+    @property
+    def l1_bytes(self) -> float:
+        return float(sum(b.nbytes for b in self._l1.values()))
+
+    @property
+    def l2_bytes(self) -> float:
+        return float(sum(b.nbytes for b in self._l2.values()))
+
+    @property
+    def cached_bytes(self) -> float:
+        return self.l1_bytes + self.l2_bytes
+
+    def pressure(self) -> float:
+        """L1 occupancy fraction -- the prefetcher's back-off watermark."""
+        return self.l1_bytes / self.l1_capacity_bytes
+
+    def __len__(self) -> int:
+        return len(self._l1) + len(self._l2)
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._l1 or key in self._l2
+
+    def peek(self, key: BlockKey) -> bool:
+        """Residency check with no simulated cost and no LRU effect."""
+        return key in self
+
+    # -- data path ---------------------------------------------------------
+
+    def lookup(self, key: BlockKey) -> Generator:
+        """Process: fetch a block, paying its tier's service time.
+
+        Returns the :class:`CachedBlock` (L2 hits are promoted to L1) or
+        ``None`` on a miss.
+        """
+        block = self._l1.get(key)
+        if block is not None:
+            self.hits_l1 += 1
+            self._l1.move_to_end(key)
+            self._count_prefetch_use(block)
+            yield self.sim.timeout(block.nbytes / self.l1_bandwidth)
+            return block
+        block = self._l2.pop(key, None)
+        if block is not None:
+            self.hits_l2 += 1
+            self._count_prefetch_use(block)
+            yield self.sim.timeout(
+                self.l2_latency_s + block.nbytes / self.l2_bandwidth
+            )
+            self._insert_l1(key, block)  # promote
+            return block
+        self.misses += 1
+        return None
+
+    def admit(
+        self,
+        key: BlockKey,
+        nbytes: int,
+        data: Optional[bytes] = None,
+        prefetched: bool = False,
+    ) -> None:
+        """Install (or refresh) a block in L1."""
+        if nbytes > self.l1_capacity_bytes:
+            return  # larger than the whole L1: bypass
+        self._l2.pop(key, None)
+        self._insert_l1(
+            key, CachedBlock(nbytes=int(nbytes), data=data, prefetched=prefetched)
+        )
+
+    def invalidate(
+        self,
+        logical: Optional[str] = None,
+        tag: Optional[str] = None,
+        chunk: Optional[int] = None,
+    ) -> int:
+        """Drop matching blocks; ``None`` fields are wildcards.
+
+        ``invalidate()`` empties the cache; ``invalidate(logical)`` drops a
+        dataset (what ``ADA.remove`` and ``ingest_append`` use to keep
+        derived subset state coherent).  Returns the number dropped.
+        """
+        def matches(key: BlockKey) -> bool:
+            return (
+                (logical is None or key[0] == logical)
+                and (tag is None or key[1] == tag)
+                and (chunk is None or key[2] == chunk)
+            )
+
+        dropped = 0
+        for lru in (self._l1, self._l2):
+            for key in [k for k in lru if matches(k)]:
+                del lru[key]
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        hits = self.hits_l1 + self.hits_l2
+        total = hits + self.misses
+        return {
+            "l1_capacity_bytes": self.l1_capacity_bytes,
+            "l2_capacity_bytes": self.l2_capacity_bytes,
+            "l1_bytes": self.l1_bytes,
+            "l2_bytes": self.l2_bytes,
+            "blocks": len(self),
+            "hits_l1": self.hits_l1,
+            "hits_l2": self.hits_l2,
+            "misses": self.misses,
+            "hit_ratio": (hits / total) if total else 0.0,
+            "demotions": self.demotions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_wasted": self.prefetch_wasted,
+            "pressure": self.pressure(),
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _count_prefetch_use(self, block: CachedBlock) -> None:
+        if block.prefetched:
+            self.prefetch_hits += 1
+            block.prefetched = False
+
+    def _insert_l1(self, key: BlockKey, block: CachedBlock) -> None:
+        self._l1[key] = block
+        self._l1.move_to_end(key)
+        while self.l1_bytes > self.l1_capacity_bytes and len(self._l1) > 1:
+            demoted_key, demoted = self._l1.popitem(last=False)
+            self._demote(demoted_key, demoted)
+        # A single over-budget resident block demotes too.
+        if self.l1_bytes > self.l1_capacity_bytes:
+            only_key, only = self._l1.popitem(last=False)
+            self._demote(only_key, only)
+
+    def _demote(self, key: BlockKey, block: CachedBlock) -> None:
+        if block.nbytes > self.l2_capacity_bytes:
+            self._drop(block)
+            return
+        self.demotions += 1
+        self._l2[key] = block
+        self._l2.move_to_end(key)
+        while self.l2_bytes > self.l2_capacity_bytes and self._l2:
+            _, evicted = self._l2.popitem(last=False)
+            self._drop(evicted)
+
+    def _drop(self, block: CachedBlock) -> None:
+        self.evictions += 1
+        if block.prefetched:
+            self.prefetch_wasted += 1

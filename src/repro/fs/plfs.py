@@ -175,6 +175,65 @@ class PLFS:
             raise
         return record
 
+    def verify_chunk(self, record: IndexRecord, obj: StoredObject) -> None:
+        """Check one chunk's bytes against its index record.
+
+        Raises :class:`CorruptionError` (a transient fault: corruption is
+        injected in flight, so a re-read observes clean bytes) on a size or
+        CRC-32 mismatch.  Virtual chunks (``crc == -1``) have nothing to
+        verify.
+        """
+        if record.crc == -1 or obj.data is None:
+            return
+        if len(obj.data) != record.nbytes or zlib.crc32(obj.data) != record.crc:
+            raise CorruptionError(
+                f"plfs: checksum mismatch reading {record.path} "
+                f"(got {len(obj.data)} B, expected {record.nbytes} B)"
+            )
+
+    def read_chunk_run(
+        self,
+        records: List[IndexRecord],
+        request_size: Optional[int] = None,
+        coalesce: bool = True,
+    ) -> Generator:
+        """Process: read one *run* of chunks living on a single backend.
+
+        With ``coalesce`` the run goes to the backend as one span read --
+        one metadata operation, one seek-amortized transfer -- instead of
+        one request per chunk.  Every chunk is still CRC-verified
+        individually, so a coalesced range detects exactly the corruption
+        an uncoalesced one would; the caller retries the whole run.
+        Returns the chunks' :class:`StoredObject` list in ``records``
+        order.
+        """
+        if not records:
+            return []
+        backend_names = {r.backend for r in records}
+        if len(backend_names) != 1:
+            raise ConfigurationError(
+                f"chunk run spans backends {sorted(backend_names)}"
+            )
+        backend = self.backends[records[0].backend]
+        if coalesce:
+            objs = yield from backend.read_span(
+                [r.path for r in records],
+                request_size=request_size,
+                label="plfs",
+            )
+        else:
+            procs = [
+                self.sim.process(
+                    backend.read(r.path, request_size=request_size, label="plfs"),
+                    name=f"plfs:read:{r.path}",
+                )
+                for r in records
+            ]
+            objs = yield AllOf(self.sim, procs)
+        for record, obj in zip(records, objs):
+            self.verify_chunk(record, obj)
+        return objs
+
     def read_subset(
         self,
         logical: str,
@@ -198,13 +257,7 @@ class PLFS:
         ]
         objs = yield AllOf(self.sim, procs)
         for record, obj in zip(records, objs):
-            if record.crc == -1 or obj.data is None:
-                continue
-            if len(obj.data) != record.nbytes or zlib.crc32(obj.data) != record.crc:
-                raise CorruptionError(
-                    f"plfs: checksum mismatch reading {record.path} "
-                    f"(got {len(obj.data)} B, expected {record.nbytes} B)"
-                )
+            self.verify_chunk(record, obj)
         total = sum(o.nbytes for o in objs)
         if any(o.is_virtual for o in objs):
             data = None

@@ -1,0 +1,254 @@
+"""Pipelined read-path benchmark: the Figure 8/9 playback loop, four ways.
+
+``run_pipeline_bench`` replays the paper's windowed trajectory playback --
+fetch a window of subset chunks, spend the calibrated CPU time consuming
+it, advance -- against one multi-chunk dataset on rotating storage, under
+four read-path configurations:
+
+* ``serial``         -- one synchronous chunk request at a time, no cache:
+                        the pre-pipelining baseline;
+* ``cold_cache``     -- tiered block cache + request coalescing, first
+                        pass (every block is a miss, but windows coalesce
+                        into span reads);
+* ``warm_cache``     -- the same deployment's second pass (the working set
+                        is L1-resident);
+* ``prefetch``       -- cache + coalescing + the adaptive prefetcher:
+                        the next window's span read overlaps the current
+                        window's CPU time.
+
+Every duration is **simulated** seconds, so results are exactly
+reproducible -- the CI smoke test (``pytest -m bench``) can hold the
+speedup floors without flaking on machine noise.  Each scenario digests
+every byte the consumer saw; all four digests must match (the pipelined
+paths change *when* bytes move, never *which* bytes).
+
+The record is written as ``BENCH_pipeline.json``; ``FLOORS`` holds the
+regression gates (prefetch >= 2x over serial, warm-pass hit ratio >=
+0.9).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core import ADA
+from repro.fs.cache import BlockCache
+from repro.fs.localfs import LocalFS
+from repro.harness.calibration import E5_2603V4
+from repro.sim import Simulator
+from repro.storage.hdd import WD_1TB_HDD
+from repro.units import to_mb
+from repro.workloads import build_workload
+
+__all__ = ["FLOORS", "render_pipeline_bench", "run_pipeline_bench"]
+
+SCHEMA_VERSION = 1
+
+#: Regression gates the bench (and the ``-m bench`` smoke test) enforces.
+FLOORS = {
+    "prefetch_vs_serial": 2.0,  # pipelined playback at least doubles
+    "warm_hit_ratio": 0.9,  # second pass serves from the block cache
+}
+
+#: The playback tag: protein subsets are what Fig. 8/9 playback loads.
+PLAYBACK_TAG = "p"
+
+
+def _chunked_dataset(
+    natoms: int, nchunks: int, frames_per_chunk: int, seed: int
+) -> Tuple[str, List[bytes]]:
+    """One PDB plus ``nchunks`` raw-container trajectory chunks.
+
+    The chunks are what a running simulation would append over time; each
+    becomes one PLFS chunk per subset, giving the chunk-granular read
+    path something real to coalesce and prefetch.
+    """
+    from repro.formats.xtc import encode_raw
+
+    workload = build_workload(
+        natoms=natoms, nframes=nchunks * frames_per_chunk, seed=seed
+    )
+    trajectory = workload.trajectory
+    blobs = [
+        encode_raw(
+            trajectory.slice_frames(
+                i * frames_per_chunk, (i + 1) * frames_per_chunk
+            )
+        )
+        for i in range(nchunks)
+    ]
+    return workload.pdb_text, blobs
+
+
+def _build_ada(
+    sim: Simulator, serial: bool = False, cache: bool = False,
+    prefetch: bool = False,
+) -> ADA:
+    """Single rotating-disk deployment: the per-request seek tax that the
+    coalesced span reads amortize is the paper's HDD scenario."""
+    backends = {"hdd": LocalFS(sim, WD_1TB_HDD, name="hdd")}
+    return ADA(
+        sim,
+        backends=backends,
+        block_cache=BlockCache(sim) if cache else None,
+        prefetch=prefetch,
+        serial_requests=serial,
+    )
+
+
+def _ingest(ada: ADA, logical: str, pdb_text: str, blobs: List[bytes]) -> None:
+    sim = ada.sim
+    sim.run_process(ada.ingest(logical, pdb_text, blobs[0]))
+    for blob in blobs[1:]:
+        sim.run_process(ada.ingest_append(logical, blob))
+
+
+def _playback(
+    ada: ADA, logical: str, nchunks: int, window_chunks: int
+) -> Tuple[float, str]:
+    """One sequential playback pass; returns (simulated seconds, digest).
+
+    Per window the consumer pays the calibrated single-thread CPU time to
+    scan and render the subset bytes (Xeon E5-2603 v4 rates, Table 4) --
+    the work the prefetcher's span reads overlap with.
+    """
+    sim = ada.sim
+    digest = hashlib.sha256()
+
+    def consumer():
+        for start in range(0, nchunks, window_chunks):
+            window = list(range(start, min(start + window_chunks, nchunks)))
+            objs = yield from ada.fetch_chunks(logical, PLAYBACK_TAG, window)
+            nbytes = 0
+            for obj in objs:
+                digest.update(obj.data)
+                nbytes += obj.nbytes
+            yield sim.timeout(nbytes / E5_2603V4.scan_rate)
+            yield sim.timeout(nbytes / E5_2603V4.render_rate)
+
+    started = sim.now
+    sim.run_process(consumer())
+    return sim.now - started, digest.hexdigest()
+
+
+def _cache_delta(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, float]:
+    """Hit accounting for one pass, from two ``BlockCache.stats()`` snapshots."""
+    hits = (
+        int(after["hits_l1"]) - int(before["hits_l1"])
+        + int(after["hits_l2"]) - int(before["hits_l2"])
+    )
+    misses = int(after["misses"]) - int(before["misses"])
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_ratio": round(hits / total, 4) if total else 0.0,
+    }
+
+
+def run_pipeline_bench(
+    natoms: int = 1200,
+    nchunks: int = 96,
+    frames_per_chunk: int = 80,
+    window_chunks: int = 8,
+    seed: int = 7,
+) -> dict:
+    """Measure the four read-path scenarios; returns the JSON record."""
+    logical = "playback.xtc"
+    pdb_text, blobs = _chunked_dataset(natoms, nchunks, frames_per_chunk, seed)
+    chunk_nbytes = None
+
+    scenarios: Dict[str, Dict[str, object]] = {}
+    digests: Dict[str, str] = {}
+
+    # serial: the pre-pipelining baseline -- one chunk request at a time.
+    sim = Simulator()
+    ada = _build_ada(sim, serial=True)
+    _ingest(ada, logical, pdb_text, blobs)
+    chunk_nbytes = ada.subset_nbytes(logical, PLAYBACK_TAG) // nchunks
+    elapsed, digests["serial"] = _playback(ada, logical, nchunks, window_chunks)
+    scenarios["serial"] = {"playback_s": round(elapsed, 6)}
+
+    # cold + warm: one cached deployment, two passes.
+    sim = Simulator()
+    ada = _build_ada(sim, cache=True)
+    _ingest(ada, logical, pdb_text, blobs)
+    elapsed, digests["cold_cache"] = _playback(ada, logical, nchunks, window_chunks)
+    cold_stats = ada.block_cache.stats()
+    scenarios["cold_cache"] = {
+        "playback_s": round(elapsed, 6),
+        "coalescing": ada.determinator.retriever.coalesce_stats(),
+    }
+    elapsed, digests["warm_cache"] = _playback(ada, logical, nchunks, window_chunks)
+    warm_stats = ada.block_cache.stats()
+    scenarios["warm_cache"] = {
+        "playback_s": round(elapsed, 6),
+        **_cache_delta(cold_stats, warm_stats),
+    }
+
+    # prefetch: cache + coalescing + adaptive readahead, cold pass.
+    sim = Simulator()
+    ada = _build_ada(sim, cache=True, prefetch=True)
+    _ingest(ada, logical, pdb_text, blobs)
+    elapsed, digests["prefetch"] = _playback(ada, logical, nchunks, window_chunks)
+    scenarios["prefetch"] = {
+        "playback_s": round(elapsed, 6),
+        "prefetcher": ada.prefetcher.stats(),
+        "cache": {
+            "prefetch_hits": ada.block_cache.prefetch_hits,
+            "prefetch_wasted": ada.block_cache.prefetch_wasted,
+            "hit_ratio": round(ada.block_cache.stats()["hit_ratio"], 4),
+        },
+    }
+
+    serial_s = scenarios["serial"]["playback_s"]
+    speedups = {
+        name: round(serial_s / scenarios[name]["playback_s"], 2)
+        for name in ("cold_cache", "warm_cache", "prefetch")
+    }
+    identical = len(set(digests.values())) == 1
+    passed = (
+        identical
+        and speedups["prefetch"] >= FLOORS["prefetch_vs_serial"]
+        and scenarios["warm_cache"]["hit_ratio"] >= FLOORS["warm_hit_ratio"]
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "natoms": natoms,
+            "nchunks": nchunks,
+            "frames_per_chunk": frames_per_chunk,
+            "window_chunks": window_chunks,
+            "chunk_mb": round(to_mb(chunk_nbytes), 3),
+            "seed": seed,
+        },
+        "scenarios": scenarios,
+        "speedup_vs_serial": speedups,
+        "floors": dict(FLOORS),
+        "identical": identical,
+        "pass": passed,
+    }
+
+
+def render_pipeline_bench(result: dict) -> str:
+    """Human-readable summary of a :func:`run_pipeline_bench` record."""
+    w = result["workload"]
+    s = result["scenarios"]
+    sp = result["speedup_vs_serial"]
+    lines = [
+        "Pipelined read path (simulated playback seconds)",
+        f"  workload: {w['nchunks']} chunks x {w['chunk_mb']} MB "
+        f"({w['natoms']} atoms, window {w['window_chunks']} chunks)",
+        f"  serial baseline: {s['serial']['playback_s']:.3f} s",
+        f"  cold cache+coalesce: {s['cold_cache']['playback_s']:.3f} s "
+        f"({sp['cold_cache']}x)",
+        f"  warm cache: {s['warm_cache']['playback_s']:.3f} s "
+        f"({sp['warm_cache']}x, hit ratio {s['warm_cache']['hit_ratio']})",
+        f"  prefetch: {s['prefetch']['playback_s']:.3f} s ({sp['prefetch']}x)",
+        f"  floors: prefetch >= {result['floors']['prefetch_vs_serial']}x, "
+        f"warm hit ratio >= {result['floors']['warm_hit_ratio']}",
+        f"  bit-identical across scenarios: {result['identical']}",
+        f"  pass: {result['pass']}",
+    ]
+    return "\n".join(lines)

@@ -9,12 +9,23 @@ decode), with an LRU of decoded windows bounding residency.  Sequential
 playback decodes each window once; rocking playback with a too-small
 budget thrashes -- reproducing the paper's "low data hit rate under random
 frame accesses".
+
+With ``prefetch=True`` the stream overlaps decode with playback: once the
+window access pattern is confirmed sequential (or strided -- skip-frame
+playback), the *next* window decodes on a background worker while the
+caller consumes the current one.  Speculation is watermark-guarded -- it
+never evicts a demand window (``resident + pending < max_windows``) and
+stands down when an external ``pressure_fn`` reports a loaded cache.
+Prefetched windows are bit-identical to demand decodes
+(:func:`decode_frame_range` is deterministic), so playback output is
+unchanged; only the stall time moves.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, Optional
 
 from repro.errors import CodecError
 from repro.formats.trajectory import BYTES_PER_COORD, Frame, Trajectory
@@ -30,6 +41,11 @@ class StreamingTrajectory:
     :class:`FrameIndex`; every window decode then seeks straight to its
     keyframe anchor, so playback costs O(window) per window instead of
     O(file).
+
+    ``prefetch`` enables adaptive window readahead (see module docstring);
+    ``pressure_fn`` optionally reports external memory pressure in
+    ``[0, 1]`` -- speculation is suppressed at or above
+    ``pressure_watermark``.
     """
 
     def __init__(
@@ -38,6 +54,9 @@ class StreamingTrajectory:
         window_frames: int = 32,
         max_windows: int = 4,
         index: Optional[FrameIndex] = None,
+        prefetch: bool = False,
+        pressure_fn: Optional[Callable[[], float]] = None,
+        pressure_watermark: float = 0.85,
     ):
         if window_frames < 1 or max_windows < 1:
             raise CodecError("window_frames and max_windows must be >= 1")
@@ -50,6 +69,20 @@ class StreamingTrajectory:
         self._windows: "OrderedDict[int, Trajectory]" = OrderedDict()
         self.window_decodes = 0
         self.window_hits = 0
+        # -- adaptive prefetch state ---------------------------------------
+        self.prefetch = bool(prefetch)
+        self.pressure_fn = pressure_fn
+        self.pressure_watermark = float(pressure_watermark)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._pending: Dict[int, "Future[Trajectory]"] = {}
+        self._speculative: set = set()  # resident but never demanded yet
+        self._last_window: Optional[int] = None
+        self._stride: Optional[int] = None
+        self._confirmed = False
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self.prefetch_wasted = 0
+        self.prefetch_suppressed = 0
 
     @property
     def nframes(self) -> int:
@@ -74,20 +107,101 @@ class StreamingTrajectory:
         if not 0 <= index < self._nframes:
             raise CodecError(f"frame {index} outside [0, {self._nframes})")
         window_id = index // self.window_frames
+        if self._pending:
+            self._drain_pending()
         window = self._windows.get(window_id)
         if window is not None:
             self.window_hits += 1
             self._windows.move_to_end(window_id)
+            if window_id in self._speculative:
+                # First demand touch of a prefetched window: useful work.
+                self._speculative.discard(window_id)
+                self.prefetch_hits += 1
         else:
-            start = window_id * self.window_frames
-            stop = min(start + self.window_frames, self._nframes)
-            window = decode_frame_range(self._data, start, stop, index=self.index)
-            self.window_decodes += 1
-            self._windows[window_id] = window
-            while len(self._windows) > self.max_windows:
-                self._windows.popitem(last=False)
+            future = self._pending.pop(window_id, None)
+            if future is not None:
+                # In flight: wait out the remaining decode (the overlap
+                # already absorbed the rest) and count it a useful hit.
+                window = future.result()
+                self._speculative.discard(window_id)
+                self.window_hits += 1
+                self.prefetch_hits += 1
+            else:
+                window = self._decode_window(window_id)
+                self.window_decodes += 1
+            self._install(window_id, window)
+        if self.prefetch:
+            self._observe(window_id)
         return window.frame(index - window_id * self.window_frames)
+
+    def close(self) -> None:
+        """Drain the prefetch worker (idempotent; safe without prefetch)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._pending.clear()
 
     def hit_rate(self) -> float:
         total = self.window_hits + self.window_decodes
         return self.window_hits / total if total else 0.0
+
+    # -- internals ----------------------------------------------------------
+
+    def _decode_window(self, window_id: int) -> Trajectory:
+        start = window_id * self.window_frames
+        stop = min(start + self.window_frames, self._nframes)
+        return decode_frame_range(self._data, start, stop, index=self.index)
+
+    def _install(self, window_id: int, window: Trajectory) -> None:
+        self._windows[window_id] = window
+        while len(self._windows) > self.max_windows:
+            evicted, _ = self._windows.popitem(last=False)
+            if evicted in self._speculative:
+                self._speculative.discard(evicted)
+                self.prefetch_wasted += 1
+
+    def _observe(self, window_id: int) -> None:
+        """Train the stride detector; maybe launch the next window."""
+        if self._last_window is not None and window_id != self._last_window:
+            stride = window_id - self._last_window
+            if stride == self._stride:
+                self._confirmed = True
+            else:
+                self._confirmed = False
+                self._stride = stride
+        if window_id != self._last_window:
+            self._last_window = window_id
+        if not self._confirmed:
+            return
+        target = window_id + self._stride
+        if not 0 <= target * self.window_frames < self._nframes:
+            return
+        if target in self._windows or target in self._pending:
+            return
+        # Watermarks: never evict a demand window for speculation, and
+        # stand down under external pressure.
+        if len(self._windows) + len(self._pending) >= self.max_windows:
+            self.prefetch_suppressed += 1
+            return
+        if (
+            self.pressure_fn is not None
+            and self.pressure_fn() >= self.pressure_watermark
+        ):
+            self.prefetch_suppressed += 1
+            return
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="stream-prefetch"
+            )
+        self.prefetch_issued += 1
+        self._pending[target] = self._executor.submit(
+            self._decode_window, target
+        )
+        self._speculative.add(target)
+
+    def _drain_pending(self) -> None:
+        """Install any completed speculative decodes (opportunistic)."""
+        done = [wid for wid, f in self._pending.items() if f.done()]
+        for wid in done:
+            future = self._pending.pop(wid)
+            self._install(wid, future.result())

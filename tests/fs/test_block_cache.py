@@ -1,0 +1,187 @@
+"""Tests for the tiered block cache and the CachedFS coherence fixes."""
+
+import pytest
+
+from repro.fs import LocalFS
+from repro.fs.cache import DERIVED_SUBSET, BlockCache, CachedFS
+from repro.sim import Simulator
+from repro.storage import DevicePower, DeviceSpec
+from repro.units import GB, KB, MB, MiB, gbps, mbps
+
+
+def _inner(sim, read=100.0):
+    spec = DeviceSpec(
+        name="disk",
+        read_bw=mbps(read),
+        write_bw=mbps(read),
+        seek_latency_s=0.0,
+        capacity=100 * GB,
+        power=DevicePower(active_w=5.0, idle_w=1.0),
+    )
+    return LocalFS(sim, spec, metadata_latency_s=0.0)
+
+
+# -- CachedFS coherence (the stale-read regressions) -------------------------
+
+
+def test_concurrent_overwrite_cannot_tear_a_cached_read():
+    """A read in flight during an overwrite returns a consistent snapshot.
+
+    Before the fix the read-hit path re-fetched data after paying its
+    memory-time timeout, so a 1 GB cached read overlapping a tiny fast
+    overwrite returned the *new* bytes with the *old* size -- torn.
+    """
+    sim = Simulator()
+    fs = CachedFS(_inner(sim, read=1000.0), 4 * GB)
+    old = b"a" * int(1 * MB)
+    new = b"b" * 10
+    sim.run_process(fs.write("f", data=old))
+    assert fs.is_cached("f")
+
+    def overwrite():
+        # Land mid-read: the cached read pays ~1MB / 6 GB/s of memory time.
+        yield sim.timeout(1e-5)
+        yield from fs.write("f", data=new)
+
+    sim.process(overwrite(), name="overwrite")
+    obj = sim.run_process(fs.read("f"))
+    assert obj.data == old  # the snapshot the reader started with
+    assert obj.nbytes == len(old)  # ... and a size that matches it
+    # The overwrite both invalidated and re-populated the cache.
+    assert fs.invalidations >= 1
+    assert sim.run_process(fs.read("f")).data == new
+
+
+def test_overwrite_invalidates_before_backend_charge():
+    sim = Simulator()
+    fs = CachedFS(_inner(sim), 1 * GB)
+    sim.run_process(fs.write("f", data=b"x" * 1000))
+    assert fs.is_cached("f")
+    sim.run_process(fs.write("f", data=b"y" * 1000))
+    assert fs.invalidations == 1
+    assert sim.run_process(fs.read("f")).data == b"y" * 1000
+
+
+# -- BlockCache: tiers, LRU, accounting --------------------------------------
+
+
+def _block_cache(sim, l1=1 * MiB, l2=0.0):
+    return BlockCache(sim, l1_capacity_bytes=l1, l2_capacity_bytes=l2)
+
+
+def test_lookup_miss_then_hit():
+    sim = Simulator()
+    cache = _block_cache(sim)
+    key = ("bar.xtc", "p", 0)
+    assert sim.run_process(cache.lookup(key)) is None
+    cache.admit(key, 1000, data=b"z" * 1000)
+    block = sim.run_process(cache.lookup(key))
+    assert block is not None and block.data == b"z" * 1000
+    assert cache.misses == 1 and cache.hits_l1 == 1
+
+
+def test_l1_hit_pays_memory_bandwidth_time():
+    sim = Simulator()
+    cache = BlockCache(sim, l1_capacity_bytes=1 * GB, l1_bandwidth=gbps(6.0))
+    cache.admit(("f", "p", 0), int(600 * MB))
+    t0 = sim.now
+    sim.run_process(cache.lookup(("f", "p", 0)))
+    assert sim.now - t0 == pytest.approx(0.1, rel=0.01)
+
+
+def test_eviction_demotes_to_l2_and_promotes_back():
+    sim = Simulator()
+    cache = _block_cache(sim, l1=int(250 * KB), l2=int(1 * MB))
+    for chunk in range(3):
+        cache.admit(("f", "p", chunk), int(100 * KB))
+    # chunk 0 was demoted to the SSD tier, not dropped.
+    assert cache.demotions == 1
+    assert ("f", "p", 0) in cache
+    t0 = sim.now
+    block = sim.run_process(cache.lookup(("f", "p", 0)))
+    assert block is not None
+    assert cache.hits_l2 == 1
+    # L2 pays its latency floor; an L1 hit of the same size costs far less.
+    l2_time = sim.now - t0
+    t0 = sim.now
+    sim.run_process(cache.lookup(("f", "p", 0)))  # promoted: now an L1 hit
+    assert cache.hits_l1 == 1
+    assert sim.now - t0 < l2_time
+
+
+def test_eviction_without_l2_drops():
+    sim = Simulator()
+    cache = _block_cache(sim, l1=int(250 * KB), l2=0.0)
+    for chunk in range(3):
+        cache.admit(("f", "p", chunk), int(100 * KB))
+    assert cache.evictions >= 1
+    assert ("f", "p", 0) not in cache
+    assert cache.l1_bytes <= 250 * KB
+
+
+def test_oversized_block_bypasses():
+    sim = Simulator()
+    cache = _block_cache(sim, l1=int(50 * KB))
+    cache.admit(("f", "p", 0), int(100 * KB))
+    assert ("f", "p", 0) not in cache
+    assert len(cache) == 0
+
+
+def test_invalidate_wildcards():
+    sim = Simulator()
+    cache = _block_cache(sim)
+    cache.admit(("a", "p", 0), 10)
+    cache.admit(("a", "p", 1), 10)
+    cache.admit(("a", "m", 0), 10)
+    cache.admit(("b", "p", 0), 10)
+    cache.admit(("a", "p", DERIVED_SUBSET), 20)
+    assert cache.invalidate(logical="a", chunk=DERIVED_SUBSET) == 1
+    assert cache.invalidate(logical="a", tag="m") == 1
+    assert cache.invalidate(logical="a") == 2
+    assert ("b", "p", 0) in cache
+    assert cache.invalidations == 4
+
+
+def test_pressure_tracks_l1_occupancy():
+    sim = Simulator()
+    cache = _block_cache(sim, l1=int(1 * MB))
+    assert cache.pressure() == 0.0
+    cache.admit(("f", "p", 0), int(500 * KB))
+    assert cache.pressure() == pytest.approx(0.5)
+
+
+def test_prefetched_accounting_hit_and_wasted():
+    sim = Simulator()
+    cache = _block_cache(sim, l1=int(250 * KB))
+    cache.admit(("f", "p", 0), int(100 * KB), prefetched=True)
+    sim.run_process(cache.lookup(("f", "p", 0)))
+    assert cache.prefetch_hits == 1
+    cache.admit(("f", "p", 1), int(100 * KB), prefetched=True)
+    cache.admit(("f", "p", 2), int(100 * KB))
+    cache.admit(("f", "p", 3), int(100 * KB))  # evicts 1, never used
+    assert cache.prefetch_wasted == 1
+
+
+def test_stats_schema():
+    sim = Simulator()
+    cache = _block_cache(sim)
+    cache.admit(("f", "p", 0), 10)
+    sim.run_process(cache.lookup(("f", "p", 0)))
+    stats = cache.stats()
+    for key in (
+        "l1_bytes",
+        "l2_bytes",
+        "blocks",
+        "hits_l1",
+        "hits_l2",
+        "misses",
+        "hit_ratio",
+        "demotions",
+        "evictions",
+        "invalidations",
+        "prefetch_hits",
+        "prefetch_wasted",
+        "pressure",
+    ):
+        assert key in stats
+    assert stats["hit_ratio"] == 1.0

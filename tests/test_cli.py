@@ -8,7 +8,9 @@ from repro.cli import GENERATORS, main
 def test_list_prints_targets(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out.split()
-    assert set(out) == set(GENERATORS) | {"bench-codec", "chaos"}
+    assert set(out) == set(GENERATORS) | {
+        "bench-codec", "bench-pipeline", "chaos"
+    }
 
 
 def test_table2_to_stdout(capsys):

@@ -1,0 +1,211 @@
+"""Tests for adaptive window prefetch in streaming playback and the
+geometry readahead in :class:`Animator`.
+
+The load-bearing property (ISSUE satellite): playback with prefetch on is
+*bit-identical* to on-demand playback -- speculation moves stall time,
+never data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import build_gpcr_system, generate_trajectory
+from repro.formats import encode_xtc
+from repro.vmd import Animator, Molecule
+from repro.vmd.streaming import StreamingTrajectory
+
+
+@pytest.fixture(scope="module")
+def blob():
+    system = build_gpcr_system(natoms_target=600, seed=41)
+    traj = generate_trajectory(system, nframes=64, seed=42)
+    return encode_xtc(traj, keyframe_interval=8)
+
+
+def _frames(stream, order):
+    return [stream.frame(i).coords.copy() for i in order]
+
+
+# -- StreamingTrajectory prefetch ---------------------------------------------
+
+
+def test_prefetch_playback_bit_identical_to_on_demand(blob):
+    order = list(range(64))
+    plain = StreamingTrajectory(blob, window_frames=8, max_windows=4)
+    eager = StreamingTrajectory(
+        blob, window_frames=8, max_windows=4, prefetch=True
+    )
+    try:
+        expected = _frames(plain, order)
+        got = _frames(eager, order)
+    finally:
+        eager.close()
+    for want, have in zip(expected, got):
+        assert np.array_equal(want, have)
+    assert eager.prefetch_issued > 0
+    assert eager.prefetch_hits > 0
+    # Prefetched windows replaced demand decodes one for one.
+    assert eager.window_decodes + eager.prefetch_hits >= plain.window_decodes
+
+
+def test_strided_playback_bit_identical_and_prefetched(blob):
+    order = list(range(0, 64, 16))  # every other window: stride 2
+    plain = StreamingTrajectory(blob, window_frames=8, max_windows=4)
+    eager = StreamingTrajectory(
+        blob, window_frames=8, max_windows=4, prefetch=True
+    )
+    try:
+        expected = _frames(plain, order)
+        got = _frames(eager, order)
+    finally:
+        eager.close()
+    for want, have in zip(expected, got):
+        assert np.array_equal(want, have)
+    assert eager.prefetch_issued > 0
+
+
+def test_prefetch_never_evicts_demand_windows(blob):
+    stream = StreamingTrajectory(
+        blob, window_frames=8, max_windows=1, prefetch=True
+    )
+    try:
+        for i in range(64):
+            stream.frame(i)
+            assert len(stream._windows) + len(stream._pending) <= 1
+    finally:
+        stream.close()
+    assert stream.prefetch_issued == 0
+    assert stream.prefetch_suppressed > 0
+
+
+def test_prefetch_stands_down_under_external_pressure(blob):
+    stream = StreamingTrajectory(
+        blob,
+        window_frames=8,
+        max_windows=4,
+        prefetch=True,
+        pressure_fn=lambda: 1.0,
+    )
+    try:
+        for i in range(64):
+            stream.frame(i)
+    finally:
+        stream.close()
+    assert stream.prefetch_issued == 0
+    assert stream.prefetch_suppressed > 0
+
+
+def test_rocking_breaks_the_stride_and_suppresses(blob):
+    stream = StreamingTrajectory(
+        blob, window_frames=8, max_windows=4, prefetch=True
+    )
+    try:
+        for _ in range(2):  # windows 0..7, 7..0: stride flips every sweep
+            for i in list(range(64)) + list(range(63, -1, -1)):
+                stream.frame(i)
+    finally:
+        stream.close()
+    # Direction flips reset confirmation, but the long straight sweeps
+    # in between still speculate -- until residency fills, after which
+    # the watermark stands speculation down rather than evict.
+    assert stream.prefetch_issued > 0
+    assert stream.prefetch_suppressed > 0
+
+
+def test_unused_speculative_window_counts_as_wasted(blob):
+    stream = StreamingTrajectory(
+        blob, window_frames=8, max_windows=4, prefetch=True
+    )
+    try:
+        for i in (0, 8, 16):  # confirm stride 1; prefetch window 3
+            stream.frame(i)
+        assert stream.prefetch_issued == 1
+        for future in list(stream._pending.values()):
+            future.result()  # make the install deterministic
+        # Jump around with no steady stride: window 3 is installed, then
+        # LRU-evicted without ever being demanded.
+        for i in (56, 40, 48, 32):
+            stream.frame(i)
+    finally:
+        stream.close()
+    assert stream.prefetch_wasted == 1
+    assert stream.prefetch_hits == 0
+
+
+def test_close_is_idempotent_and_safe_without_prefetch(blob):
+    plain = StreamingTrajectory(blob, window_frames=8)
+    plain.frame(0)
+    plain.close()
+    plain.close()
+    eager = StreamingTrajectory(blob, window_frames=8, prefetch=True)
+    for i in range(32):
+        eager.frame(i)
+    eager.close()
+    eager.close()
+    assert not eager._pending
+
+
+# -- Animator readahead -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def molecule_data():
+    system = build_gpcr_system(natoms_target=800, seed=43)
+    traj = generate_trajectory(system, nframes=16, seed=44)
+    return system, traj
+
+
+def _molecule(molecule_data):
+    system, traj = molecule_data
+    mol = Molecule(0, "gpcr", system.topology)
+    mol.add_frames(traj)
+    return mol
+
+
+def test_readahead_turns_sequential_misses_into_hits(molecule_data):
+    demand = Animator(_molecule(molecule_data), cache_frames=16)
+    eager = Animator(_molecule(molecule_data), cache_frames=16, readahead=4)
+    cold = demand.play()
+    warm = eager.play()
+    assert eager.readahead_rendered > 0
+    assert warm.cache_hits > cold.cache_hits
+    assert warm.frames_shown == cold.frames_shown
+
+
+def test_readahead_geometry_identical_to_demand_render(molecule_data):
+    demand = Animator(_molecule(molecule_data), cache_frames=16)
+    eager = Animator(_molecule(molecule_data), cache_frames=16, readahead=4)
+    for i in range(16):
+        want = demand.goto(i)
+        have = eager.goto(i)
+        assert np.array_equal(want.segments, have.segments)
+        assert np.array_equal(want.center_of_mass, have.center_of_mass)
+        assert want.radius_of_gyration == have.radius_of_gyration
+
+
+def test_readahead_follows_a_rewind_stride(molecule_data):
+    animator = Animator(_molecule(molecule_data), cache_frames=8, readahead=2)
+    animator.goto(15)  # miss; forward readahead runs off the end
+    animator.goto(14)  # stride is now -1: readahead renders 13 and 12
+    rendered = animator.readahead_rendered
+    assert rendered >= 2
+    animator.goto(13)
+    animator.goto(12)
+    assert animator.readahead_rendered == rendered or animator.hits >= 2
+    assert animator.hits >= 2
+
+
+def test_readahead_budget_capped_at_half_the_cache(molecule_data):
+    animator = Animator(_molecule(molecule_data), cache_frames=4, readahead=10)
+    animator.goto(0)
+    # One demand render plus at most cache_frames // 2 speculative ones.
+    assert animator.readahead_rendered <= 2
+    assert len(animator._cache) <= 4
+
+
+def test_rock_statistics_improve_with_readahead(molecule_data):
+    plain = Animator(_molecule(molecule_data), cache_frames=8).rock(passes=2)
+    eager = Animator(
+        _molecule(molecule_data), cache_frames=8, readahead=4
+    ).rock(passes=2)
+    assert eager.hit_rate >= plain.hit_rate
