@@ -2,7 +2,8 @@
 
 Replays sequential windowed playback against a 96-chunk dataset on the
 paper's rotating tier under the serial baseline, cold and warm block
-cache, and the adaptive prefetcher, and records ``BENCH_pipeline.json``.
+cache, and the adaptive prefetcher, and records the canonical
+``benchmarks/results/BENCH_pipeline.json``.
 Durations are simulated seconds, so the floors (prefetch >= 2x over the
 serial-request baseline, warm-pass cache hit ratio >= 0.9) hold
 deterministically -- there is no scheduler noise to absorb.
@@ -22,7 +23,7 @@ def test_bench_pipeline_json_floors(artifact_sink):
     result = run_pipeline_bench()
     artifact_sink("BENCH_pipeline.json", json.dumps(result, indent=2))
     artifact_sink("BENCH_pipeline.txt", render_pipeline_bench(result))
-    assert result["schema_version"] == 1
+    assert result["schema_version"] == 2
     assert result["identical"], "pipelined playback changed the bytes seen"
     speedups = result["speedup_vs_serial"]
     assert speedups["prefetch"] >= FLOORS["prefetch_vs_serial"]

@@ -177,7 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=sorted(GENERATORS)
-        + ["all", "bench-codec", "bench-pipeline", "chaos", "list"],
+        + ["all", "bench-codec", "bench-pipeline", "chaos", "metrics",
+           "trace", "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -215,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(chaos) transient fault rate per operation")
     chaos.add_argument("--rounds", type=int, default=3,
                        help="(chaos) read rounds after ingest")
+    obs = parser.add_argument_group("metrics / trace options")
+    obs.add_argument("--selftest", action="store_true",
+                     help="(metrics) exercise the registry + both exporters "
+                          "through their parsers and exit")
+    obs.add_argument("--logical", default=None,
+                     help="(trace) filter timelines to this dataset")
+    obs.add_argument("--tag", default=None,
+                     help="(trace) filter timelines to this subset tag")
     return parser
 
 
@@ -242,6 +251,11 @@ def _run_chaos(args) -> int:
     return 0
 
 
+#: Canonical location of the bench-pipeline JSON record.  There is
+#: exactly one copy; override with ``-o/--output`` to write elsewhere.
+BENCH_PIPELINE_JSON = pathlib.Path("benchmarks/results/BENCH_pipeline.json")
+
+
 def _run_bench_pipeline(args) -> int:
     from repro.harness.benchpipeline import (
         render_pipeline_bench,
@@ -255,7 +269,8 @@ def _run_bench_pipeline(args) -> int:
         seed=args.seed,
     )
     if args.json:
-        path = args.output or pathlib.Path("BENCH_pipeline.json")
+        path = args.output or BENCH_PIPELINE_JSON
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {path}", file=sys.stderr)
     else:
@@ -268,6 +283,78 @@ def _run_bench_pipeline(args) -> int:
     if not result["pass"]:
         print("repro: bench-pipeline below its floors", file=sys.stderr)
         return 1
+    return 0
+
+
+def _metrics_selftest() -> int:
+    """Exercise the registry and both exporters through their parsers."""
+    from repro.obs.export import parse_metrics_json, parse_prometheus
+    from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
+
+    registry = MetricsRegistry()
+    registry.counter("selftest_ops_total", op="read").inc(3)
+    registry.counter("selftest_ops_total", op="write").inc()
+    registry.gauge("selftest_inflight").set(2)
+    histogram = registry.histogram("selftest_seconds", bounds=TIME_BUCKETS)
+    for value in (2e-6, 5e-4, 0.25):
+        histogram.observe(value)
+
+    prom = parse_prometheus(registry.to_prometheus())
+    record = parse_metrics_json(json.dumps(registry.to_json()))
+    by_name = {family["name"]: family for family in record["families"]}
+    checks = (
+        prom["selftest_ops_total"][(("op", "read"),)] == 3.0,
+        prom["selftest_ops_total"][(("op", "write"),)] == 1.0,
+        prom["selftest_inflight"][()] == 2.0,
+        prom["selftest_seconds_count"][()] == 3.0,
+        by_name["selftest_ops_total"]["kind"] == "counter",
+        by_name["selftest_seconds"]["metrics"][0]["count"] == 3,
+    )
+    if not all(checks):
+        print("repro: metrics selftest FAILED", file=sys.stderr)
+        return 1
+    print("metrics selftest: OK "
+          f"({len(registry)} metrics round-tripped both exporters)")
+    return 0
+
+
+def _run_metrics(args) -> int:
+    """Export the trace-demo run's registry (or run the selftest)."""
+    if args.selftest:
+        return _metrics_selftest()
+    from repro.harness.tracedemo import run_trace_demo
+
+    ada, _ = run_trace_demo(seed=args.seed if args.seed else 11)
+    if args.json:
+        text = json.dumps(ada.metrics.to_json(), indent=2, sort_keys=True)
+    else:
+        text = ada.metrics.to_prometheus().rstrip("\n")
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _run_trace(args) -> int:
+    """Render the trace-demo timelines (demand read overlapping prefetch)."""
+    from repro.harness.tracedemo import run_trace_demo
+    from repro.obs.trace import render_trace
+
+    _, tracer = run_trace_demo(seed=args.seed if args.seed else 11)
+    if args.json:
+        text = tracer.to_json(logical=args.logical, tag=args.tag)
+    else:
+        roots = tracer.traces(logical=args.logical, tag=args.tag)
+        text = render_trace(roots)
+        if not text:
+            text = "(no matching timelines)"
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 
@@ -308,6 +395,8 @@ def main(argv=None) -> int:
         print("bench-codec")
         print("bench-pipeline")
         print("chaos")
+        print("metrics")
+        print("trace")
         return 0
     if args.target == "bench-codec":
         return _run_bench_codec(args)
@@ -315,6 +404,10 @@ def main(argv=None) -> int:
         return _run_bench_pipeline(args)
     if args.target == "chaos":
         return _run_chaos(args)
+    if args.target == "metrics":
+        return _run_metrics(args)
+    if args.target == "trace":
+        return _run_trace(args)
     if args.target == "all":
         directory = args.directory or pathlib.Path("results")
         directory.mkdir(parents=True, exist_ok=True)

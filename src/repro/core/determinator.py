@@ -19,6 +19,7 @@ from repro.faults.retry import Retrier, RetryPolicy, RetryStats
 from repro.fs.base import StoredObject
 from repro.fs.cache import BlockCache
 from repro.fs.plfs import PLFS
+from repro.obs.metrics import MetricsRegistry
 from repro.sim import Simulator
 
 __all__ = ["IODeterminator"]
@@ -45,10 +46,16 @@ class IODeterminator:
         block_cache: Optional[BlockCache] = None,
         coalesce: bool = False,
         serial_requests: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.plfs = plfs
-        self.retry_stats = retry_stats if retry_stats is not None else RetryStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retry_stats = (
+            retry_stats
+            if retry_stats is not None
+            else RetryStats(metrics=self.metrics)
+        )
         self.retrier = Retrier(sim, policy=retry_policy, stats=self.retry_stats)
         self.indexer = Indexer(sim, plfs, lookup_latency_s=indexer_latency_s)
         self.dispatcher = IODispatcher(
@@ -60,7 +67,8 @@ class IODeterminator:
             kwargs["request_size"] = retriever_request_size
         self.retriever = IORetriever(
             sim, plfs, retrier=self.retrier, cache=block_cache,
-            coalesce=coalesce, serial_requests=serial_requests, **kwargs,
+            coalesce=coalesce, serial_requests=serial_requests,
+            metrics=self.metrics, **kwargs,
         )
 
     # -- write path ---------------------------------------------------------

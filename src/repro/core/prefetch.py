@@ -30,6 +30,8 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.retriever import IORetriever
 from repro.errors import ConfigurationError, FaultError
+from repro.obs.metrics import MetricsRegistry, metric_view
+from repro.obs.trace import span as trace_span
 from repro.sim import Process, Simulator
 
 __all__ = ["Prefetcher"]
@@ -55,6 +57,32 @@ class Prefetcher:
     processes whose only output is a warmer cache.
     """
 
+    FIELDS = (
+        "issued",  # speculative windows launched
+        "chunks_requested",
+        "suppressed_pressure",
+        "suppressed_degraded",
+        "suppressed_pattern",  # no confirmed stride yet / random access
+        "suppressed_inflight",
+        "suppressed_eof",  # predicted chunks clamped at the subset's end
+        "failed",  # speculative reads that hit a permanent fault
+    )
+
+    issued = metric_view("_metric_fields", key="issued")
+    chunks_requested = metric_view("_metric_fields", key="chunks_requested")
+    suppressed_pressure = metric_view(
+        "_metric_fields", key="suppressed_pressure"
+    )
+    suppressed_degraded = metric_view(
+        "_metric_fields", key="suppressed_degraded"
+    )
+    suppressed_pattern = metric_view("_metric_fields", key="suppressed_pattern")
+    suppressed_inflight = metric_view(
+        "_metric_fields", key="suppressed_inflight"
+    )
+    suppressed_eof = metric_view("_metric_fields", key="suppressed_eof")
+    failed = metric_view("_metric_fields", key="failed")
+
     def __init__(
         self,
         sim: Simulator,
@@ -62,6 +90,7 @@ class Prefetcher:
         high_watermark: float = 0.85,
         degradation_source: Optional[Callable[[], float]] = None,
         max_inflight: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not 0.0 < high_watermark <= 1.0:
             raise ConfigurationError(
@@ -75,13 +104,14 @@ class Prefetcher:
         self._streams: Dict[Tuple[str, str], _StreamState] = {}
         self._inflight: list = []
         self._last_degradation: Optional[float] = None
-        self.issued = 0  # speculative windows launched
-        self.chunks_requested = 0
-        self.suppressed_pressure = 0
-        self.suppressed_degraded = 0
-        self.suppressed_pattern = 0  # no confirmed stride yet / random access
-        self.suppressed_inflight = 0
-        self.failed = 0  # speculative reads that hit a permanent fault
+        # Registry-backed counters (the attributes above are views).
+        self.metrics = (
+            metrics if metrics is not None else retriever.metrics
+        )
+        self._metric_fields = {
+            field: self.metrics.counter(f"prefetch_{field}_total")
+            for field in self.FIELDS
+        }
 
     # -- the demand-path hook ------------------------------------------------
 
@@ -114,7 +144,18 @@ class Prefetcher:
             self.suppressed_inflight += 1
             return None
         next_start = start + state.stride
-        targets = [c for c in range(next_start, next_start + span) if c >= 0]
+        # Clamp the predicted window to the chunks the index actually has:
+        # speculation past chunk 0 *or* past the subset's last chunk would
+        # only spawn doomed no-op processes and inflate the issue counters.
+        last_chunk = max(
+            (r.chunk for r in self.retriever.plfs.subset_records(logical, tag)),
+            default=-1,
+        )
+        predicted = range(next_start, next_start + span)
+        targets = [c for c in predicted if 0 <= c <= last_chunk]
+        clamped = span - len(targets)
+        if clamped:
+            self.suppressed_eof += clamped
         if not targets:
             return None
         self.issued += 1
@@ -127,15 +168,7 @@ class Prefetcher:
         return proc
 
     def stats(self) -> Dict[str, object]:
-        return {
-            "issued": self.issued,
-            "chunks_requested": self.chunks_requested,
-            "suppressed_pressure": self.suppressed_pressure,
-            "suppressed_degraded": self.suppressed_degraded,
-            "suppressed_pattern": self.suppressed_pattern,
-            "suppressed_inflight": self.suppressed_inflight,
-            "failed": self.failed,
-        }
+        return {field: getattr(self, field) for field in self.FIELDS}
 
     # -- internals -----------------------------------------------------------
 
@@ -181,14 +214,22 @@ class Prefetcher:
         targets = [c for c in targets if c in existing]
         if not targets:
             return 0
-        try:
-            count = yield from self.retriever.prefetch_chunks(
-                logical, tag, targets
-            )
-        except FaultError:
-            # Speculation is best-effort: a permanent failure here must not
-            # crash anything -- the demand read will surface it (or route
-            # around it via graceful degradation) when it actually matters.
-            self.failed += 1
-            return 0
-        return count
+        with trace_span(
+            self.sim, "prefetch.window",
+            logical=logical, tag=tag,
+            chunks=",".join(str(c) for c in targets),
+        ) as sp:
+            try:
+                count = yield from self.retriever.prefetch_chunks(
+                    logical, tag, targets
+                )
+            except FaultError:
+                # Speculation is best-effort: a permanent failure here must
+                # not crash anything -- the demand read will surface it (or
+                # route around it via graceful degradation) when it actually
+                # matters.
+                self.failed += 1
+                sp.tag(failed=True)
+                return 0
+            sp.tag(admitted=count)
+            return count

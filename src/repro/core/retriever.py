@@ -34,6 +34,8 @@ from repro.faults.retry import Retrier
 from repro.fs.base import StoredObject
 from repro.fs.cache import DERIVED_SUBSET, BlockCache, BlockKey
 from repro.fs.plfs import PLFS, IndexRecord
+from repro.obs.metrics import MetricsRegistry, SIZE_BUCKETS, metric_view
+from repro.obs.trace import span
 from repro.sim import AllOf, Process, Simulator
 from repro.units import MiB
 
@@ -56,6 +58,18 @@ class IORetriever:
     baseline the ``bench-pipeline`` harness measures against.
     """
 
+    retrieved_bytes = metric_view(
+        "_metric_fields", key="retrieved_bytes", cast=float
+    )
+    cache_served_bytes = metric_view(
+        "_metric_fields", key="cache_served_bytes", cast=float
+    )
+    coalesced_runs = metric_view("_metric_fields", key="coalesced_runs")
+    coalesced_chunks = metric_view("_metric_fields", key="coalesced_chunks")
+    requests_saved = metric_view("_metric_fields", key="requests_saved")
+    prefetched_chunks = metric_view("_metric_fields", key="prefetched_chunks")
+    dedup_waits = metric_view("_metric_fields", key="dedup_waits")
+
     def __init__(
         self,
         sim: Simulator,
@@ -65,6 +79,7 @@ class IORetriever:
         cache: Optional[BlockCache] = None,
         coalesce: bool = False,
         serial_requests: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.plfs = plfs
@@ -73,17 +88,42 @@ class IORetriever:
         self.cache = cache
         self.coalesce = coalesce
         self.serial_requests = serial_requests
-        self.retrieved_bytes = 0.0
-        self.cache_served_bytes = 0.0
-        self.coalesced_runs = 0  # spans issued with > 1 chunk
-        self.coalesced_chunks = 0  # chunks that rode in those spans
-        self.requests_saved = 0  # backend requests coalescing removed
-        self.prefetched_chunks = 0  # chunks admitted speculatively
-        self.dedup_waits = 0  # demand reads that joined an in-flight read
+        # Registry-backed accounting: the traffic counters above are
+        # views, so ``coalesce_stats()`` and ``ADA.stats()`` read exactly
+        # what the Prometheus/JSON exporters see.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metric_fields = {
+            "retrieved_bytes": self.metrics.counter("retriever_bytes_total"),
+            "cache_served_bytes": self.metrics.counter(
+                "retriever_cache_served_bytes_total"
+            ),
+            "coalesced_runs": self.metrics.counter(
+                "retriever_coalesced_runs_total"
+            ),  # spans issued with > 1 chunk
+            "coalesced_chunks": self.metrics.counter(
+                "retriever_coalesced_chunks_total"
+            ),  # chunks that rode in those spans
+            "requests_saved": self.metrics.counter(
+                "retriever_requests_saved_total"
+            ),  # backend requests coalescing removed
+            "prefetched_chunks": self.metrics.counter(
+                "retriever_prefetched_chunks_total"
+            ),  # chunks admitted speculatively
+            "dedup_waits": self.metrics.counter(
+                "retriever_dedup_waits_total"
+            ),  # demand reads that joined an in-flight read
+        }
+        self._run_bytes = self.metrics.histogram(
+            "retriever_run_bytes", bounds=SIZE_BUCKETS
+        )
         #: Chunk reads currently in flight, so a demand read overlapping a
         #: prefetch (or a concurrent consumer) joins the existing read
         #: instead of double-issuing it on the device queue.
         self._inflight: Dict[BlockKey, Process] = {}
+        self.metrics.gauge("retriever_inflight_reads", fn=self._inflight_live)
+
+    def _inflight_live(self) -> int:
+        return sum(1 for p in self._inflight.values() if p.is_alive)
 
     @property
     def pipelined(self) -> bool:
@@ -102,43 +142,47 @@ class IORetriever:
 
     def retrieve(self, logical: str, tag: str) -> Generator:
         """Process: read one tagged subset; returns a :class:`StoredObject`."""
-        if not self.pipelined and not self.serial_requests:
-            # Legacy path: identical timing to the pre-pipeline reader.
-            obj: StoredObject = yield from self.retrier.call(
-                lambda: self.plfs.read_subset(
-                    logical, tag, request_size=self.request_size
-                ),
-                key=f"read:{logical}#{tag}",
-            )
-            self.retrieved_bytes += obj.nbytes
-            return obj
-        if self.cache is not None:
-            # Derived whole-subset entry: a repeat fetch of a multi-chunk
-            # subset serves one assembled block instead of re-walking (and
-            # re-joining) every chunk.  ``ingest_append`` invalidates these.
-            derived = yield from self.cache.lookup(
-                (logical, tag, DERIVED_SUBSET)
-            )
-            if derived is not None:
-                self.retrieved_bytes += derived.nbytes
-                self.cache_served_bytes += derived.nbytes
-                return StoredObject(
-                    path=f"{logical}#{tag}",
-                    nbytes=derived.nbytes,
-                    data=derived.data,
+        with span(
+            self.sim, "retriever.retrieve", logical=logical, tag=tag
+        ) as sp:
+            if not self.pipelined and not self.serial_requests:
+                # Legacy path: identical timing to the pre-pipeline reader.
+                obj: StoredObject = yield from self.retrier.call(
+                    lambda: self.plfs.read_subset(
+                        logical, tag, request_size=self.request_size
+                    ),
+                    key=f"read:{logical}#{tag}",
                 )
-        objs = yield from self.retrieve_chunks(logical, tag)
-        total = sum(o.nbytes for o in objs)
-        if any(o.is_virtual for o in objs):
-            data = None
-        elif len(objs) == 1:
-            data = objs[0].data  # zero-copy: no join for single-chunk subsets
-        else:
-            data = b"".join(o.data for o in objs)
-        if self.cache is not None and len(objs) > 1:
-            self.cache.admit((logical, tag, DERIVED_SUBSET), total, data=data)
-        self.retrieved_bytes += total
-        return StoredObject(path=f"{logical}#{tag}", nbytes=total, data=data)
+                self.retrieved_bytes += obj.nbytes
+                return obj
+            if self.cache is not None:
+                # Derived whole-subset entry: a repeat fetch of a multi-chunk
+                # subset serves one assembled block instead of re-walking (and
+                # re-joining) every chunk.  ``ingest_append`` invalidates these.
+                derived = yield from self.cache.lookup(
+                    (logical, tag, DERIVED_SUBSET)
+                )
+                if derived is not None:
+                    self.retrieved_bytes += derived.nbytes
+                    self.cache_served_bytes += derived.nbytes
+                    sp.tag(cache_hit=True)
+                    return StoredObject(
+                        path=f"{logical}#{tag}",
+                        nbytes=derived.nbytes,
+                        data=derived.data,
+                    )
+            objs = yield from self.retrieve_chunks(logical, tag)
+            total = sum(o.nbytes for o in objs)
+            if any(o.is_virtual for o in objs):
+                data = None
+            elif len(objs) == 1:
+                data = objs[0].data  # zero-copy: no join for single-chunk subsets
+            else:
+                data = b"".join(o.data for o in objs)
+            if self.cache is not None and len(objs) > 1:
+                self.cache.admit((logical, tag, DERIVED_SUBSET), total, data=data)
+            self.retrieved_bytes += total
+            return StoredObject(path=f"{logical}#{tag}", nbytes=total, data=data)
 
     def retrieve_all(self, logical: str) -> Generator:
         """Process: read every subset concurrently; returns ``{tag: obj}``."""
@@ -181,55 +225,75 @@ class IORetriever:
                 raise ContainerError(
                     f"{logical}#{tag}: no chunk(s) {sorted(missing)}"
                 )
-        out: List[Optional[StoredObject]] = [None] * len(records)
-        to_read: List[int] = []  # positions in `records` that missed
-        waits: Dict[int, Process] = {}  # positions someone else is reading
-        for pos, record in enumerate(records):
-            if self.cache is None:
-                to_read.append(pos)
-                continue
-            block = yield from self.cache.lookup(
-                (logical, tag, record.chunk)
+        with span(
+            self.sim, "retriever.retrieve_chunks",
+            logical=logical, tag=tag, chunks=len(records),
+            prefetched=prefetched,
+        ) as sp:
+            out: List[Optional[StoredObject]] = [None] * len(records)
+            to_read: List[int] = []  # positions in `records` that missed
+            waits: Dict[int, Process] = {}  # positions someone else is reading
+            for pos, record in enumerate(records):
+                if self.cache is None:
+                    to_read.append(pos)
+                    continue
+                block = yield from self.cache.lookup(
+                    (logical, tag, record.chunk)
+                )
+                if block is not None:
+                    out[pos] = StoredObject(
+                        path=record.path, nbytes=block.nbytes, data=block.data
+                    )
+                    self.cache_served_bytes += block.nbytes
+                    continue
+                inflight = self._inflight.get((logical, tag, record.chunk))
+                if inflight is not None and inflight.is_alive:
+                    waits[pos] = inflight
+                else:
+                    to_read.append(pos)
+            sp.tag(
+                cache_hits=len(records) - len(to_read) - len(waits),
+                joined=len(waits),
             )
-            if block is not None:
-                out[pos] = StoredObject(
-                    path=record.path, nbytes=block.nbytes, data=block.data
-                )
-                self.cache_served_bytes += block.nbytes
-                continue
-            inflight = self._inflight.get((logical, tag, record.chunk))
-            if inflight is not None and inflight.is_alive:
-                waits[pos] = inflight
+            runs = self._runs(records, to_read)
+            if self.serial_requests:
+                for run in runs:
+                    objs = yield from self._read_run(
+                        logical, tag, records, run, prefetched
+                    )
+                    for pos, obj in zip(run, objs):
+                        out[pos] = obj
             else:
-                to_read.append(pos)
-        runs = self._runs(records, to_read)
-        if self.serial_requests:
-            for run in runs:
-                objs = yield from self._read_run(
-                    logical, tag, records, run, prefetched
-                )
-                for pos, obj in zip(run, objs):
-                    out[pos] = obj
-        else:
-            procs: List[Process] = []
-            for run in runs:
-                proc = self.sim.process(
-                    self._read_run(logical, tag, records, run, prefetched),
-                    name=f"retrieve:{logical}#{tag}:{records[run[0]].chunk}",
-                )
-                for pos in run:
-                    self._inflight[(logical, tag, records[pos].chunk)] = proc
-                procs.append(proc)
-            results = yield AllOf(self.sim, procs)
-            for run, objs, proc in zip(runs, results, procs):
-                for pos, obj in zip(run, objs):
-                    key = (logical, tag, records[pos].chunk)
-                    if self._inflight.get(key) is proc:
-                        del self._inflight[key]
-                    out[pos] = obj
-        if waits:
-            yield from self._join_inflight(logical, tag, records, waits, out)
-        return list(out)
+                procs: List[Process] = []
+                for run in runs:
+                    proc = self.sim.process(
+                        self._read_run(logical, tag, records, run, prefetched),
+                        name=f"retrieve:{logical}#{tag}:{records[run[0]].chunk}",
+                    )
+                    for pos in run:
+                        self._inflight[(logical, tag, records[pos].chunk)] = proc
+                    procs.append(proc)
+                try:
+                    results = yield AllOf(self.sim, procs)
+                except BaseException:
+                    # A failed run (FaultError escaping the AllOf barrier)
+                    # must not leave dead Process objects in the dedup map:
+                    # later demand reads would "join" a corpse and every
+                    # entry would leak for the life of the retriever.
+                    results = None
+                    raise
+                finally:
+                    for run, proc in zip(runs, procs):
+                        for pos in run:
+                            key = (logical, tag, records[pos].chunk)
+                            if self._inflight.get(key) is proc:
+                                del self._inflight[key]
+                for run, objs in zip(runs, results):
+                    for pos, obj in zip(run, objs):
+                        out[pos] = obj
+            if waits:
+                yield from self._join_inflight(logical, tag, records, waits, out)
+            return list(out)
 
     def _join_inflight(
         self,
@@ -247,27 +311,35 @@ class IORetriever:
         so the wait can only ever save device traffic, never lose data.
         """
         self.dedup_waits += len(waits)
-        pending = [p for p in set(waits.values()) if p.is_alive]
-        if pending:
-            try:
-                yield AllOf(self.sim, pending)
-            except FaultError:
-                pass  # the owner saw the failure; we re-read below
-        for pos in waits:
-            if out[pos] is not None:
-                continue
-            record = records[pos]
-            block = yield from self.cache.lookup((logical, tag, record.chunk))
-            if block is not None:
-                out[pos] = StoredObject(
-                    path=record.path, nbytes=block.nbytes, data=block.data
-                )
-                self.cache_served_bytes += block.nbytes
-            else:
-                objs = yield from self._read_run(
-                    logical, tag, records, [pos], False
-                )
-                out[pos] = objs[0]
+        with span(
+            self.sim, "retriever.dedup_join",
+            logical=logical, tag=tag, joined=len(waits),
+            chunks=",".join(str(records[pos].chunk) for pos in sorted(waits)),
+        ) as sp:
+            pending = [p for p in set(waits.values()) if p.is_alive]
+            if pending:
+                try:
+                    yield AllOf(self.sim, pending)
+                except FaultError:
+                    pass  # the owner saw the failure; we re-read below
+            reread = 0
+            for pos in waits:
+                if out[pos] is not None:
+                    continue
+                record = records[pos]
+                block = yield from self.cache.lookup((logical, tag, record.chunk))
+                if block is not None:
+                    out[pos] = StoredObject(
+                        path=record.path, nbytes=block.nbytes, data=block.data
+                    )
+                    self.cache_served_bytes += block.nbytes
+                else:
+                    reread += 1
+                    objs = yield from self._read_run(
+                        logical, tag, records, [pos], False
+                    )
+                    out[pos] = objs[0]
+            sp.tag(rereads=reread)
 
     def prefetch_chunks(
         self, logical: str, tag: str, chunks: Sequence[int]
@@ -343,14 +415,23 @@ class IORetriever:
             f"-{last}" if last != first else ""
         )
         coalesced = self.coalesce and len(run_records) > 1
-        objs = yield from self.retrier.call(
-            lambda: self.plfs.read_chunk_run(
-                run_records,
-                request_size=self.request_size,
-                coalesce=coalesced,
-            ),
-            key=key,
-        )
+        with span(
+            self.sim, "retriever.read_run",
+            logical=logical, tag=tag,
+            chunk=first if last == first else f"{first}-{last}",
+            coalesced=coalesced, prefetched=prefetched,
+        ) as sp:
+            objs = yield from self.retrier.call(
+                lambda: self.plfs.read_chunk_run(
+                    run_records,
+                    request_size=self.request_size,
+                    coalesce=coalesced,
+                ),
+                key=key,
+            )
+            nbytes = sum(obj.nbytes for obj in objs)
+            sp.tag(nbytes=nbytes)
+            self._run_bytes.observe(nbytes)
         if coalesced:
             self.coalesced_runs += 1
             self.coalesced_chunks += len(run_records)

@@ -31,6 +31,8 @@ from repro.errors import (
     RetryExhaustedError,
     TransientFaultError,
 )
+from repro.obs.metrics import MetricsRegistry, metric_view
+from repro.obs.trace import span
 from repro.sim import AnyOf, Simulator
 
 __all__ = ["RetryPolicy", "RetryStats", "Retrier"]
@@ -103,33 +105,50 @@ class RetryPolicy:
 
 
 class RetryStats:
-    """Mutable counters shared by every retried operation of a middleware."""
+    """Counters shared by every retried operation of a middleware.
 
-    __slots__ = (
-        "attempts",
-        "retries",
-        "recovered",
+    Since the observability layer landed these are *views* over a
+    :class:`~repro.obs.metrics.MetricsRegistry` (one ``retry_<field>``
+    counter per field): the attribute names, increments at call sites,
+    and the :meth:`as_dict` shape are unchanged, but the registry is the
+    source of truth, so exporters see the same numbers operators do.
+    """
+
+    FIELDS = (
+        "attempts",  # individual tries, including the first
+        "retries",  # re-tries after a transient failure
+        "recovered",  # operations that succeeded after >= 1 retry
         "transient_faults",
         "corruption_detected",
         "timeouts",
         "permanent_failures",
-        "exhausted",
-        "backoff_s",
+        "exhausted",  # operations whose retries ran out
+        "backoff_s",  # simulated seconds spent backing off
     )
 
-    def __init__(self) -> None:
-        self.attempts = 0  # individual tries, including the first
-        self.retries = 0  # re-tries after a transient failure
-        self.recovered = 0  # operations that succeeded after >= 1 retry
-        self.transient_faults = 0
-        self.corruption_detected = 0
-        self.timeouts = 0
-        self.permanent_failures = 0
-        self.exhausted = 0  # operations whose retries ran out
-        self.backoff_s = 0.0  # simulated seconds spent backing off
+    attempts = metric_view("_metrics_by_field", key="attempts")
+    retries = metric_view("_metrics_by_field", key="retries")
+    recovered = metric_view("_metrics_by_field", key="recovered")
+    transient_faults = metric_view("_metrics_by_field", key="transient_faults")
+    corruption_detected = metric_view(
+        "_metrics_by_field", key="corruption_detected"
+    )
+    timeouts = metric_view("_metrics_by_field", key="timeouts")
+    permanent_failures = metric_view(
+        "_metrics_by_field", key="permanent_failures"
+    )
+    exhausted = metric_view("_metrics_by_field", key="exhausted")
+    backoff_s = metric_view("_metrics_by_field", key="backoff_s", cast=float)
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metrics_by_field = {
+            field: self.metrics.counter(f"retry_{field}_total")
+            for field in self.FIELDS
+        }
 
     def as_dict(self) -> Dict[str, Any]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in self.FIELDS}
 
     def __repr__(self) -> str:
         return (
@@ -162,34 +181,42 @@ class Retrier:
     ) -> Generator:
         """Process: run ``op_factory()`` to completion under the policy."""
         attempt = 0
-        while True:
-            self.stats.attempts += 1
-            try:
-                result = yield from self._attempt(op_factory(), key)
-            except PermanentFaultError:
-                self.stats.permanent_failures += 1
-                raise
-            except TransientFaultError as exc:
-                self.stats.transient_faults += 1
-                if isinstance(exc, CorruptionError):
-                    self.stats.corruption_detected += 1
-                if isinstance(exc, FaultTimeoutError):
-                    self.stats.timeouts += 1
-                if attempt >= self.policy.max_retries:
-                    self.stats.exhausted += 1
-                    raise RetryExhaustedError(
-                        f"{key}: gave up after {attempt + 1} attempt(s): {exc}"
-                    ) from exc
-                delay = self.policy.delay_s(attempt, key)
-                if delay > 0:
-                    self.stats.backoff_s += delay
-                    yield self.sim.timeout(delay)
-                attempt += 1
-                self.stats.retries += 1
-                continue
-            if attempt:
-                self.stats.recovered += 1
-            return result
+        with span(self.sim, "retry.call", key=key) as sp:
+            while True:
+                self.stats.attempts += 1
+                try:
+                    result = yield from self._attempt(op_factory(), key)
+                except PermanentFaultError:
+                    self.stats.permanent_failures += 1
+                    sp.tag(retries=attempt)
+                    raise
+                except TransientFaultError as exc:
+                    self.stats.transient_faults += 1
+                    if isinstance(exc, CorruptionError):
+                        self.stats.corruption_detected += 1
+                    if isinstance(exc, FaultTimeoutError):
+                        self.stats.timeouts += 1
+                    if attempt >= self.policy.max_retries:
+                        self.stats.exhausted += 1
+                        sp.tag(retries=attempt)
+                        raise RetryExhaustedError(
+                            f"{key}: gave up after {attempt + 1} attempt(s): "
+                            f"{exc}"
+                        ) from exc
+                    delay = self.policy.delay_s(attempt, key)
+                    if delay > 0:
+                        self.stats.backoff_s += delay
+                        with span(
+                            self.sim, "retry.backoff", key=key, attempt=attempt
+                        ):
+                            yield self.sim.timeout(delay)
+                    attempt += 1
+                    self.stats.retries += 1
+                    continue
+                if attempt:
+                    self.stats.recovered += 1
+                sp.tag(retries=attempt)
+                return result
 
     def _attempt(self, op: Generator, key: str) -> Generator:
         """Process: one attempt, raced against the per-op deadline."""

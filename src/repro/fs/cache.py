@@ -30,6 +30,8 @@ from typing import Dict, Generator, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.fs.base import FileSystem, StoredObject
+from repro.obs.metrics import MetricsRegistry, metric_view
+from repro.obs.trace import span
 from repro.units import MiB, gbps
 
 __all__ = ["CachedFS", "BlockCache", "BlockKey", "CachedBlock", "DERIVED_SUBSET"]
@@ -46,12 +48,17 @@ class CachedFS(FileSystem):
     snapshot -- never a torn object whose size and bytes disagree.
     """
 
+    hits = metric_view("_metric_fields", key="hits")
+    misses = metric_view("_metric_fields", key="misses")
+    invalidations = metric_view("_metric_fields", key="invalidations")
+
     def __init__(
         self,
         inner: FileSystem,
         capacity_bytes: float,
         memory_bandwidth: float = gbps(6.0),
         name: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if capacity_bytes <= 0 or memory_bandwidth <= 0:
             raise ConfigurationError("cache capacity/bandwidth must be positive")
@@ -61,9 +68,13 @@ class CachedFS(FileSystem):
         self.capacity_bytes = float(capacity_bytes)
         self.memory_bandwidth = float(memory_bandwidth)
         self._lru: "OrderedDict[str, int]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        # Counters live in the (injectable) metrics registry; the public
+        # ``hits``/``misses``/``invalidations`` attributes are views.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metric_fields = {
+            field: self.metrics.counter(f"page_cache_{field}_total", fs=self.name)
+            for field in ("hits", "misses", "invalidations")
+        }
 
     @property
     def cached_bytes(self) -> float:
@@ -177,6 +188,15 @@ class BlockCache:
     convention that metadata mutation is free while data movement pays.
     """
 
+    hits_l1 = metric_view("_metric_fields", key="hits_l1")
+    hits_l2 = metric_view("_metric_fields", key="hits_l2")
+    misses = metric_view("_metric_fields", key="misses")
+    demotions = metric_view("_metric_fields", key="demotions")
+    evictions = metric_view("_metric_fields", key="evictions")
+    invalidations = metric_view("_metric_fields", key="invalidations")
+    prefetch_hits = metric_view("_metric_fields", key="prefetch_hits")
+    prefetch_wasted = metric_view("_metric_fields", key="prefetch_wasted")
+
     def __init__(
         self,
         sim,
@@ -185,6 +205,7 @@ class BlockCache:
         l1_bandwidth: float = gbps(6.0),
         l2_bandwidth: float = gbps(2.0),
         l2_latency_s: float = 80e-6,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if l1_capacity_bytes <= 0:
             raise ConfigurationError("block cache L1 capacity must be positive")
@@ -202,14 +223,47 @@ class BlockCache:
         self.l2_latency_s = float(l2_latency_s)
         self._l1: "OrderedDict[BlockKey, CachedBlock]" = OrderedDict()
         self._l2: "OrderedDict[BlockKey, CachedBlock]" = OrderedDict()
-        self.hits_l1 = 0
-        self.hits_l2 = 0
-        self.misses = 0
-        self.demotions = 0  # L1 -> L2 evictions
-        self.evictions = 0  # blocks that left the cache entirely
-        self.invalidations = 0
-        self.prefetch_hits = 0  # hits on blocks a prefetcher admitted
-        self.prefetch_wasted = 0  # prefetched blocks evicted unused
+        # Hit/eviction accounting is registry-backed (the attributes above
+        # are views); occupancy surfaces as derived gauges so exporters
+        # always see the live value.
+        self.bind_metrics(metrics if metrics is not None else MetricsRegistry())
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """(Re)home this cache's counters and gauges in ``metrics``.
+
+        A cache is usually constructed standalone and handed to ``ADA``,
+        which then rebinds it into the middleware's shared registry;
+        counts accumulated so far carry over.
+        """
+        previous = getattr(self, "_metric_fields", None)
+        self.metrics = metrics
+        self._metric_fields = {
+            "hits_l1": self.metrics.counter("block_cache_hits_total", tier="l1"),
+            "hits_l2": self.metrics.counter("block_cache_hits_total", tier="l2"),
+            "misses": self.metrics.counter("block_cache_misses_total"),
+            "demotions": self.metrics.counter("block_cache_demotions_total"),
+            "evictions": self.metrics.counter("block_cache_evictions_total"),
+            "invalidations": self.metrics.counter(
+                "block_cache_invalidations_total"
+            ),
+            "prefetch_hits": self.metrics.counter(
+                "block_cache_prefetch_hits_total"
+            ),
+            "prefetch_wasted": self.metrics.counter(
+                "block_cache_prefetch_wasted_total"
+            ),
+        }
+        if previous is not None:
+            for field, metric in previous.items():
+                if metric.value:
+                    self._metric_fields[field].set(metric.value)
+        self.metrics.gauge(
+            "block_cache_bytes", fn=lambda: self.l1_bytes, tier="l1"
+        )
+        self.metrics.gauge(
+            "block_cache_bytes", fn=lambda: self.l2_bytes, tier="l2"
+        )
+        self.metrics.gauge("block_cache_pressure", fn=self.pressure)
 
     # -- capacity accounting ----------------------------------------------
 
@@ -247,20 +301,29 @@ class BlockCache:
         Returns the :class:`CachedBlock` (L2 hits are promoted to L1) or
         ``None`` on a miss.
         """
+        logical, tag, chunk = key
         block = self._l1.get(key)
         if block is not None:
             self.hits_l1 += 1
             self._l1.move_to_end(key)
             self._count_prefetch_use(block)
-            yield self.sim.timeout(block.nbytes / self.l1_bandwidth)
+            with span(
+                self.sim, "cache.lookup", logical=logical, tag=tag,
+                chunk=chunk, tier="l1", cache_hit=True,
+            ):
+                yield self.sim.timeout(block.nbytes / self.l1_bandwidth)
             return block
         block = self._l2.pop(key, None)
         if block is not None:
             self.hits_l2 += 1
             self._count_prefetch_use(block)
-            yield self.sim.timeout(
-                self.l2_latency_s + block.nbytes / self.l2_bandwidth
-            )
+            with span(
+                self.sim, "cache.lookup", logical=logical, tag=tag,
+                chunk=chunk, tier="l2", cache_hit=True,
+            ):
+                yield self.sim.timeout(
+                    self.l2_latency_s + block.nbytes / self.l2_bandwidth
+                )
             self._insert_l1(key, block)  # promote
             return block
         self.misses += 1

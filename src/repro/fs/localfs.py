@@ -13,6 +13,7 @@ from typing import Generator, Optional
 
 from repro.errors import FaultError, FileNotFoundInFSError
 from repro.fs.base import FileSystem, StoredObject
+from repro.obs.trace import span
 from repro.sim import Simulator
 from repro.storage.device import Device, DeviceSpec
 
@@ -65,17 +66,18 @@ class LocalFS(FileSystem):
         request_size: Optional[int] = None,
         label: str = "read",
     ) -> Generator:
-        decision = yield from self._fault_gate("read", path)
-        if not self.store.exists(path):
-            raise FileNotFoundInFSError(f"{self.name}: {path}")
-        size = self.store.nbytes(path)
-        yield self.sim.timeout(self.metadata_latency_s)
-        requests = self._request_count(size, request_size)
-        yield from self.device.read(size, requests=requests, label=label)
-        self.bytes_read += size
-        data = None if self.store.is_virtual(path) else self.store.data(path)
-        data = self._fault_payload(decision, "read", data)
-        return StoredObject(path=path, nbytes=size, data=data)
+        with span(self.sim, "fs.read", fs=self.name, path=path):
+            decision = yield from self._fault_gate("read", path)
+            if not self.store.exists(path):
+                raise FileNotFoundInFSError(f"{self.name}: {path}")
+            size = self.store.nbytes(path)
+            yield self.sim.timeout(self.metadata_latency_s)
+            requests = self._request_count(size, request_size)
+            yield from self.device.read(size, requests=requests, label=label)
+            self.bytes_read += size
+            data = None if self.store.is_virtual(path) else self.store.data(path)
+            data = self._fault_payload(decision, "read", data)
+            return StoredObject(path=path, nbytes=size, data=data)
 
     def read_span(
         self,
@@ -94,23 +96,27 @@ class LocalFS(FileSystem):
         """
         if not paths:
             return []
-        decision = yield from self._fault_gate("read", paths[0])
-        sizes = []
-        for path in paths:
-            if not self.store.exists(path):
-                raise FileNotFoundInFSError(f"{self.name}: {path}")
-            sizes.append(self.store.nbytes(path))
-        total = sum(sizes)
-        yield self.sim.timeout(self.metadata_latency_s)
-        requests = self._request_count(total, request_size)
-        yield from self.device.read(total, requests=requests, label=label)
-        self.bytes_read += total
-        objs = []
-        for path, size in zip(paths, sizes):
-            data = None if self.store.is_virtual(path) else self.store.data(path)
-            data = self._fault_payload(decision, "read", data)
-            objs.append(StoredObject(path=path, nbytes=size, data=data))
-        return objs
+        with span(
+            self.sim, "fs.read_span",
+            fs=self.name, paths=len(paths), first=paths[0],
+        ):
+            decision = yield from self._fault_gate("read", paths[0])
+            sizes = []
+            for path in paths:
+                if not self.store.exists(path):
+                    raise FileNotFoundInFSError(f"{self.name}: {path}")
+                sizes.append(self.store.nbytes(path))
+            total = sum(sizes)
+            yield self.sim.timeout(self.metadata_latency_s)
+            requests = self._request_count(total, request_size)
+            yield from self.device.read(total, requests=requests, label=label)
+            self.bytes_read += total
+            objs = []
+            for path, size in zip(paths, sizes):
+                data = None if self.store.is_virtual(path) else self.store.data(path)
+                data = self._fault_payload(decision, "read", data)
+                objs.append(StoredObject(path=path, nbytes=size, data=data))
+            return objs
 
     def delete(self, path: str) -> int:
         """Remove an object and release its device capacity."""

@@ -21,6 +21,7 @@ from repro.harness.scenarios import (
 )
 from repro.harness.runner import run_point, run_sweep
 from repro.harness.report import Table, format_results, series_pivot
+from repro.harness.tracedemo import run_trace_demo
 
 __all__ = [
     "CalibrationReport",
@@ -39,6 +40,7 @@ __all__ = [
     "run_chaos",
     "run_point",
     "run_sweep",
+    "run_trace_demo",
     "series_pivot",
     "small_cluster",
     "ssd_server",

@@ -22,9 +22,10 @@ speedup floors without flaking on machine noise.  Each scenario digests
 every byte the consumer saw; all four digests must match (the pipelined
 paths change *when* bytes move, never *which* bytes).
 
-The record is written as ``BENCH_pipeline.json``; ``FLOORS`` holds the
-regression gates (prefetch >= 2x over serial, warm-pass hit ratio >=
-0.9).
+The record is written to ``benchmarks/results/BENCH_pipeline.json`` (one
+canonical copy; ``python -m repro bench-pipeline --json -o PATH``
+overrides).  ``FLOORS`` holds the regression gates (prefetch >= 2x over
+serial, warm-pass hit ratio >= 0.9).
 """
 
 from __future__ import annotations
@@ -43,7 +44,7 @@ from repro.workloads import build_workload
 
 __all__ = ["FLOORS", "render_pipeline_bench", "run_pipeline_bench"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2  # v2: adds the "metrics" registry snapshot
 
 #: Regression gates the bench (and the ``-m bench`` smoke test) enforces.
 FLOORS = {
@@ -228,6 +229,9 @@ def run_pipeline_bench(
         "floors": dict(FLOORS),
         "identical": identical,
         "pass": passed,
+        # Full registry snapshot of the prefetch deployment (the scenario
+        # that exercises every read-path subsystem at once).
+        "metrics": ada.metrics.to_json(),
     }
 
 

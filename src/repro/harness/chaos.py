@@ -53,6 +53,9 @@ class ChaosReport:
     counters: Dict[str, object] = field(default_factory=dict)
     sim_time_baseline_s: float = 0.0
     sim_time_faulted_s: float = 0.0
+    #: Structured snapshot of the faulted run's metrics registry (the
+    #: same payload ``python -m repro metrics --json`` exports).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def retries(self) -> int:
@@ -75,6 +78,7 @@ class ChaosReport:
             "counters": self.counters,
             "sim_time_baseline_s": self.sim_time_baseline_s,
             "sim_time_faulted_s": self.sim_time_faulted_s,
+            "metrics": self.metrics,
         }
 
 
@@ -157,6 +161,7 @@ def run_chaos(
         counters=faulted.fault_counters(),
         sim_time_baseline_s=baseline_sim.now,
         sim_time_faulted_s=faulted_sim.now,
+        metrics=faulted.metrics.to_json(),
     )
 
 

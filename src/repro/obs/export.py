@@ -1,0 +1,169 @@
+"""Metric exporters: Prometheus text exposition and structured JSON.
+
+Both formats are deterministic renderings of a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot -- families sorted by
+name, instances by label key -- so identical seeded runs export
+byte-identical artifacts, which is what the determinism gate in
+``tests/obs`` holds.
+
+:func:`parse_prometheus` is a minimal exposition-format parser (enough
+for the round-trip property tests and for scraping our own output); it is
+*not* a general Prometheus client.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "registry_to_json",
+    "registry_to_prometheus",
+    "parse_prometheus",
+    "parse_metrics_json",
+]
+
+
+def _label_str(labels, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = list(labels) + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(value) -> str:
+    """Prometheus number formatting: integers render without a dot."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def registry_to_json(registry) -> Dict[str, object]:
+    """Structured snapshot of every family, stable order throughout."""
+    families: List[Dict[str, object]] = []
+    for name, kind, metrics in registry.families():
+        instances = []
+        for metric in metrics:
+            entry: Dict[str, object] = {
+                "labels": {k: v for k, v in metric.labels},
+            }
+            if kind == "histogram":
+                entry["buckets"] = [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(metric.bounds, metric.bucket_counts)
+                ]
+                entry["count"] = metric.count
+                entry["sum"] = metric.sum
+            else:
+                entry["value"] = metric.value
+            instances.append(entry)
+        families.append({"name": name, "kind": kind, "metrics": instances})
+    return {"schema_version": 1, "families": families}
+
+
+def registry_to_prometheus(registry) -> str:
+    """Prometheus text exposition (format version 0.0.4)."""
+    lines: List[str] = []
+    for name, kind, metrics in registry.families():
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in metrics:
+            if kind == "histogram":
+                # bucket_counts are already cumulative (``le`` semantics).
+                for bound, count in zip(metric.bounds, metric.bucket_counts):
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_str(metric.labels, (('le', _fmt(bound)),))}"
+                        f" {count}"
+                    )
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_label_str(metric.labels, (('le', '+Inf'),))}"
+                    f" {metric.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_str(metric.labels)} {_fmt(metric.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(metric.labels)} {metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(metric.labels)} {_fmt(metric.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse exposition text back into ``{name: {label_key: value}}``.
+
+    Covers the subset :func:`registry_to_prometheus` emits (TYPE comments,
+    labeled samples, ``+Inf`` bounds); raises :class:`ValueError` on
+    anything malformed so the round-trip test actually validates syntax.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, value_part = line.rpartition(" ")
+        if not body:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        if "{" in body:
+            name, _, label_blob = body.partition("{")
+            if not label_blob.endswith("}"):
+                raise ValueError(f"unterminated labels: {raw!r}")
+            labels = _parse_labels(label_blob[:-1])
+        else:
+            name, labels = body, ()
+        value = float("inf") if value_part == "+Inf" else float(value_part)
+        samples.setdefault(name, {})[labels] = value
+    return samples
+
+
+def _parse_labels(blob: str) -> Tuple[Tuple[str, str], ...]:
+    labels: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(blob):
+        eq = blob.index("=", i)
+        key = blob[i:eq]
+        if blob[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {blob!r}")
+        j = eq + 2
+        out = []
+        while blob[j] != '"':
+            if blob[j] == "\\":
+                j += 1
+            out.append(blob[j])
+            j += 1
+        labels.append((key, "".join(out)))
+        i = j + 1
+        if i < len(blob) and blob[i] == ",":
+            i += 1
+    return tuple(labels)
+
+
+def parse_metrics_json(payload: str) -> Dict[str, object]:
+    """Parse (and structurally validate) a JSON metrics snapshot."""
+    record = json.loads(payload)
+    if record.get("schema_version") != 1:
+        raise ValueError(f"unknown metrics schema {record.get('schema_version')!r}")
+    for family in record["families"]:
+        if family["kind"] not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric kind {family['kind']!r}")
+        for metric in family["metrics"]:
+            if family["kind"] == "histogram":
+                bounds = [b["le"] for b in metric["buckets"]]
+                if bounds != sorted(bounds):
+                    raise ValueError(f"{family['name']}: buckets not ascending")
+            elif "value" not in metric:
+                raise ValueError(f"{family['name']}: sample without value")
+    return record

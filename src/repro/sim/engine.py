@@ -141,7 +141,7 @@ class Process(Event):
     the generator's return value, so processes can wait on each other.
     """
 
-    __slots__ = ("generator", "_waiting_on", "name")
+    __slots__ = ("generator", "_waiting_on", "name", "_trace_ctx", "_span_stack")
 
     def __init__(
         self,
@@ -155,6 +155,13 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        # Observability context: a process spawned while a trace span is
+        # open inherits that span as its parent (see repro.obs.trace); the
+        # per-process span stack keeps nesting correct across interleaved
+        # processes.  Both stay None/empty with no tracer attached.
+        tracer = sim.tracer
+        self._trace_ctx = tracer.current() if tracer is not None else None
+        self._span_stack: List[Any] = []
         # Bootstrap: resume once at the current time.
         boot = Event(sim)
         boot.callbacks.append(self._resume)
@@ -186,6 +193,20 @@ class Process(Event):
             self._step(throw=event.value)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        # Mark this process active while its generator chain runs, so the
+        # tracer (and any other ambient-context consumer) can attribute
+        # work -- including spans opened deep inside ``yield from`` chains
+        # -- to the right process.
+        previous_active = self.sim._active_process
+        self.sim._active_process = self
+        try:
+            self._step_inner(send=send, throw=throw)
+        finally:
+            self.sim._active_process = previous_active
+
+    def _step_inner(
+        self, send: Any = None, throw: Optional[BaseException] = None
+    ) -> None:
         try:
             if throw is not None:
                 target = self.generator.throw(throw)
@@ -284,6 +305,12 @@ class Simulator:
         self._heap: List = []
         self._seq = itertools.count()
         self._processed = 0
+        #: Observability hooks (see :mod:`repro.obs`): a Tracer attaches
+        #: itself here, a MetricsRegistry may be attached by the deployment
+        #: (ADA does); ``_active_process`` is maintained by Process._step.
+        self.tracer: Optional[Any] = None
+        self.metrics: Optional[Any] = None
+        self._active_process: Optional[Process] = None
 
     @property
     def now(self) -> float:

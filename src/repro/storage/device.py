@@ -13,6 +13,7 @@ from typing import Generator, Optional
 
 from repro.errors import ConfigurationError, StorageFullError
 from repro.faults.plan import FaultPlan, raise_fault
+from repro.obs.trace import span
 from repro.sim import BusyTracker, Resource, Simulator
 from repro.storage.power import DevicePower
 
@@ -110,19 +111,51 @@ class Device:
 
     def read(self, nbytes: float, requests: int = 1, label: str = "read") -> Generator:
         """DES process: occupy the device for the read's service time."""
-        yield from self._fault_gate("read")
-        yield from self._serve(self.spec.read_time(nbytes, requests), label)
+        with span(
+            self.sim, "device.read",
+            device=self.name, nbytes=int(nbytes), requests=requests,
+        ):
+            yield from self._fault_gate("read")
+            yield from self._serve(
+                self.spec.read_time(nbytes, requests), label, "read", nbytes
+            )
 
     def write(
         self, nbytes: float, requests: int = 1, label: str = "write"
     ) -> Generator:
         """DES process: occupy the device for the write's service time."""
-        yield from self._fault_gate("write")
-        yield from self._serve(self.spec.write_time(nbytes, requests), label)
+        with span(
+            self.sim, "device.write",
+            device=self.name, nbytes=int(nbytes), requests=requests,
+        ):
+            yield from self._fault_gate("write")
+            yield from self._serve(
+                self.spec.write_time(nbytes, requests), label, "write", nbytes
+            )
 
-    def _serve(self, duration: float, label: str) -> Generator:
+    def _serve(
+        self, duration: float, label: str, op: str, nbytes: float
+    ) -> Generator:
         with self.resource.request() as req:
             yield req
             start = self.sim.now
             yield self.sim.timeout(duration)
             self.busy.record(start, self.sim.now, label)
+        self._record_metrics(op, duration, nbytes)
+
+    def _record_metrics(self, op: str, duration: float, nbytes: float) -> None:
+        """Per-device counters/histograms on the sim-attached registry.
+
+        Pure bookkeeping (no simulated cost): attaching observability can
+        never change event order or timing.
+        """
+        registry = getattr(self.sim, "metrics", None)
+        if registry is None:
+            return
+        registry.counter("device_ops_total", device=self.name, op=op).inc()
+        registry.counter(
+            "device_bytes_total", device=self.name, op=op
+        ).inc(int(nbytes))
+        registry.histogram(
+            "device_service_seconds", device=self.name, op=op
+        ).observe(duration)

@@ -1,0 +1,115 @@
+"""Regression tests for the read-path bugfix sweep.
+
+* A failed coalesced run must purge its :attr:`IORetriever._inflight`
+  entries -- before the fix, a FaultError escaping the AllOf barrier left
+  dead Process objects in the dedup map for the life of the retriever.
+* The prefetcher must clamp speculative targets at the subset's last
+  chunk -- before the fix, only the ``c >= 0`` bound existed, so
+  end-of-stream predictions issued doomed windows and inflated the
+  ``issued``/``chunks_requested`` counters.
+"""
+
+import pytest
+
+from repro.core import ADA
+from repro.errors import FaultError, PermanentFaultError
+from repro.fs.cache import BlockCache
+from repro.fs.localfs import LocalFS
+from repro.sim import Simulator
+from repro.storage.ssd import NVME_SSD_256GB
+from repro.workloads import build_workload
+
+LOGICAL = "reg.xtc"
+NCHUNKS = 10
+
+
+def _chunked_ada(prefetch: bool = False):
+    from repro.formats.xtc import encode_raw
+
+    sim = Simulator()
+    ada = ADA(
+        sim,
+        backends={"ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd")},
+        block_cache=BlockCache(sim),
+        prefetch=prefetch,
+    )
+    frames_per_chunk = 3
+    workload = build_workload(
+        natoms=240, nframes=NCHUNKS * frames_per_chunk, seed=9
+    )
+    blobs = [
+        encode_raw(
+            workload.trajectory.slice_frames(
+                i * frames_per_chunk, (i + 1) * frames_per_chunk
+            )
+        )
+        for i in range(NCHUNKS)
+    ]
+    sim.run_process(ada.ingest(LOGICAL, workload.pdb_text, blobs[0]))
+    for blob in blobs[1:]:
+        sim.run_process(ada.ingest_append(LOGICAL, blob))
+    return sim, ada
+
+
+# -- inflight purge on failed coalesced runs --------------------------------
+
+
+def test_failed_coalesced_run_purges_inflight_map(monkeypatch):
+    sim, ada = _chunked_ada()
+    retriever = ada.determinator.retriever
+    original = ada.plfs.read_chunk_run
+
+    def doomed(records, **kwargs):
+        raise PermanentFaultError("injected: backend gone")
+        yield  # pragma: no cover - makes this a generator function
+
+    monkeypatch.setattr(ada.plfs, "read_chunk_run", doomed)
+    with pytest.raises(FaultError):
+        sim.run_process(ada.fetch_chunks(LOGICAL, "p", [0, 1, 2, 3]))
+    # The fix: the finally-block purge leaves no dead Process behind.
+    assert retriever._inflight == {}
+
+    # And the retriever is fully usable once the backend recovers.
+    monkeypatch.setattr(ada.plfs, "read_chunk_run", original)
+    objs = sim.run_process(ada.fetch_chunks(LOGICAL, "p", [0, 1, 2, 3]))
+    assert len(objs) == 4 and all(o.nbytes > 0 for o in objs)
+    assert retriever._inflight == {}
+
+
+def test_successful_run_also_leaves_inflight_empty():
+    sim, ada = _chunked_ada()
+    sim.run_process(ada.fetch_chunks(LOGICAL, "p", list(range(NCHUNKS))))
+    assert ada.determinator.retriever._inflight == {}
+
+
+# -- prefetch end-of-stream clamp -------------------------------------------
+
+
+def test_prefetch_prediction_clamped_at_last_chunk():
+    sim, ada = _chunked_ada(prefetch=True)
+    prefetcher = ada.prefetcher
+    # Train a stride-3 pattern whose next window straddles the end:
+    # after [6..9] the prediction is chunks 9..12, but only 9 exists...
+    # stride confirms on the third same-stride step.
+    prefetcher.observe(LOGICAL, "p", [0, 1, 2, 3])
+    prefetcher.observe(LOGICAL, "p", [3, 4, 5, 6])
+    proc = prefetcher.observe(LOGICAL, "p", [6, 7, 8, 9])
+    assert proc is not None  # ...so a (clamped) window still launches
+    assert prefetcher.issued == 1
+    assert prefetcher.chunks_requested == 1  # chunk 9 only
+    assert prefetcher.suppressed_eof == 3  # 10, 11, 12 never issued
+    sim.run()
+    assert ada.block_cache.peek((LOGICAL, "p", 9))
+
+
+def test_prefetch_prediction_entirely_past_eof_is_suppressed():
+    sim, ada = _chunked_ada(prefetch=True)
+    prefetcher = ada.prefetcher
+    prefetcher.observe(LOGICAL, "p", [2, 3])
+    prefetcher.observe(LOGICAL, "p", [6, 7])
+    proc = prefetcher.observe(LOGICAL, "p", [10, 11])  # hypothetical window
+    assert proc is None
+    assert prefetcher.issued == 0
+    assert prefetcher.chunks_requested == 0
+    assert prefetcher.suppressed_eof == 2  # 14 and 15, both past the end
+    assert prefetcher.stats()["suppressed_eof"] == 2

@@ -1,0 +1,162 @@
+"""Schema pins for every public stats dict (exact keys, value types).
+
+These dicts became *views* over the metrics registry; downstream tooling
+(benchmark JSON, operators' scripts) reads them by key, so the key sets
+and Python value types are part of the public contract and must not
+drift as instrumentation evolves.
+"""
+
+import pytest
+
+from repro.core import ADA
+from repro.core.prefetch import Prefetcher
+from repro.faults.plan import FaultPlan
+from repro.fs.cache import BlockCache
+from repro.fs.localfs import LocalFS
+from repro.sim import Simulator
+from repro.storage.hdd import WD_1TB_HDD
+from repro.storage.ssd import NVME_SSD_256GB
+from repro.workloads import build_workload
+
+
+@pytest.fixture()
+def driven_ada():
+    """A two-tier cached+prefetching deployment after real traffic."""
+    sim = Simulator()
+    ada = ADA(
+        sim,
+        backends={
+            "ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd"),
+            "hdd": LocalFS(sim, WD_1TB_HDD, name="hdd"),
+        },
+        block_cache=BlockCache(sim),
+        prefetch=True,
+        fault_plan=FaultPlan.transient_only(seed=5, rate=0.02),
+    )
+    workload = build_workload(natoms=200, nframes=6, seed=5)
+    sim.run_process(ada.ingest("s.xtc", workload.pdb_text, workload.xtc_blob))
+    for tag in ada.tags("s.xtc"):
+        sim.run_process(ada.fetch("s.xtc", tag))
+    sim.run_process(ada.fetch("s.xtc", "p"))  # repeat: exercise cache hits
+    return ada
+
+
+def test_ada_stats_schema(driven_ada):
+    stats = driven_ada.stats()
+    assert set(stats) == {
+        "datasets",
+        "bytes_written_per_backend",
+        "dispatched_bytes_per_tag",
+        "spills",
+        "indexer_lookups",
+        "retrieved_bytes",
+        "cache_served_bytes",
+        "cache",
+        "prefetch",
+        "coalescing",
+        "faults",
+    }
+    assert stats["datasets"] == ["s.xtc"]
+    assert all(
+        isinstance(v, float) for v in stats["bytes_written_per_backend"].values()
+    )
+    assert isinstance(stats["indexer_lookups"], int)
+    assert isinstance(stats["retrieved_bytes"], float)
+    assert isinstance(stats["cache_served_bytes"], float)
+    assert isinstance(stats["spills"], list)
+    coal = stats["coalescing"]
+    assert set(coal) == {
+        "enabled", "coalesced_runs", "coalesced_chunks", "requests_saved"
+    }
+    assert isinstance(coal["enabled"], bool)
+    assert all(
+        isinstance(coal[k], int)
+        for k in ("coalesced_runs", "coalesced_chunks", "requests_saved")
+    )
+
+
+def test_block_cache_stats_schema(driven_ada):
+    stats = driven_ada.block_cache.stats()
+    assert set(stats) == {
+        "l1_capacity_bytes",
+        "l2_capacity_bytes",
+        "l1_bytes",
+        "l2_bytes",
+        "blocks",
+        "hits_l1",
+        "hits_l2",
+        "misses",
+        "hit_ratio",
+        "demotions",
+        "evictions",
+        "invalidations",
+        "prefetch_hits",
+        "prefetch_wasted",
+        "pressure",
+    }
+    int_keys = (
+        "blocks", "hits_l1", "hits_l2", "misses", "demotions",
+        "evictions", "invalidations", "prefetch_hits", "prefetch_wasted",
+    )
+    for key in int_keys:
+        assert isinstance(stats[key], int), key
+    float_keys = (
+        "l1_capacity_bytes", "l2_capacity_bytes", "l1_bytes", "l2_bytes",
+        "hit_ratio", "pressure",
+    )
+    for key in float_keys:
+        assert isinstance(stats[key], float), key
+    assert stats["hits_l1"] + stats["hits_l2"] > 0  # the repeat fetch hit
+
+
+def test_prefetcher_stats_schema(driven_ada):
+    stats = driven_ada.prefetcher.stats()
+    assert tuple(stats) == Prefetcher.FIELDS
+    assert set(stats) == {
+        "issued",
+        "chunks_requested",
+        "suppressed_pressure",
+        "suppressed_degraded",
+        "suppressed_pattern",
+        "suppressed_inflight",
+        "suppressed_eof",
+        "failed",
+    }
+    for key, value in stats.items():
+        assert isinstance(value, int), key
+
+
+def test_fault_counters_schema(driven_ada):
+    counters = driven_ada.fault_counters()
+    # The fixture attaches a fault plan, so the injected section appears.
+    assert set(counters) == {
+        "retry", "degraded_reads", "degraded", "injected", "injected_total"
+    }
+    retry = counters["retry"]
+    assert set(retry) == {
+        "attempts",
+        "retries",
+        "recovered",
+        "transient_faults",
+        "corruption_detected",
+        "timeouts",
+        "permanent_failures",
+        "exhausted",
+        "backoff_s",
+    }
+    for key, value in retry.items():
+        expected = float if key == "backoff_s" else int
+        assert isinstance(value, expected), key
+    assert isinstance(counters["degraded_reads"], int)
+    assert isinstance(counters["degraded"], list)
+    assert isinstance(counters["injected_total"], int)
+
+
+def test_fault_counters_schema_without_plan():
+    sim = Simulator()
+    ada = ADA(
+        sim, backends={"ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd")}
+    )
+    assert set(ada.fault_counters()) == {
+        "retry", "degraded_reads", "degraded"
+    }

@@ -229,4 +229,4 @@ def test_shared_stats_across_retriers():
     sim.run_process(r2.call(_flaky(1), key="b"))
     assert stats.attempts == 4
     assert stats.recovered == 2
-    assert set(stats.as_dict()) == set(RetryStats.__slots__)
+    assert set(stats.as_dict()) == set(RetryStats.FIELDS)

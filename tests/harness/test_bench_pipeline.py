@@ -26,7 +26,7 @@ def small_result():
 @pytest.mark.bench
 def test_bench_pipeline_schema_stable(small_result):
     result = small_result
-    assert result["schema_version"] == 1
+    assert result["schema_version"] == 2
     assert set(result) == {
         "schema_version",
         "workload",
@@ -35,6 +35,14 @@ def test_bench_pipeline_schema_stable(small_result):
         "floors",
         "identical",
         "pass",
+        "metrics",
+    }
+    assert result["metrics"]["schema_version"] == 1
+    assert {f["name"] for f in result["metrics"]["families"]} >= {
+        "block_cache_hits_total",
+        "prefetch_issued_total",
+        "retriever_bytes_total",
+        "retry_attempts_total",
     }
     assert set(result["workload"]) == {
         "natoms",
@@ -93,6 +101,30 @@ def test_cli_bench_pipeline_json(tmp_path, monkeypatch):
         ]
     )
     assert code == 0
-    record = json.loads((tmp_path / "BENCH_pipeline.json").read_text())
-    assert record["schema_version"] == 1
+    # One canonical copy, under benchmarks/results/ (satellite of the
+    # duplicate-artifact fix); -o/--output overrides.
+    canonical = tmp_path / "benchmarks" / "results" / "BENCH_pipeline.json"
+    assert canonical.exists()
+    assert not (tmp_path / "BENCH_pipeline.json").exists()
+    record = json.loads(canonical.read_text())
+    assert record["schema_version"] == 2
     assert record["pass"]
+
+
+@pytest.mark.bench
+def test_cli_bench_pipeline_output_override(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "custom.json"
+    code = main(
+        [
+            "bench-pipeline",
+            "--json",
+            "-o", str(out),
+            "--nchunks", "24",
+            "--frames-per-chunk", "20",
+            "--window-chunks", "4",
+        ]
+    )
+    assert code == 0
+    assert out.exists()
+    assert not (tmp_path / "benchmarks").exists()

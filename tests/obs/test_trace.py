@@ -1,0 +1,149 @@
+"""Tracer semantics: nesting, process inheritance, determinism, rendering."""
+
+import pytest
+
+from repro.errors import TransientFaultError
+from repro.obs.trace import Tracer, render_trace, span
+from repro.sim import Simulator
+
+pytestmark = pytest.mark.obs
+
+
+def test_span_is_noop_without_tracer():
+    sim = Simulator()
+
+    def proc():
+        with span(sim, "work", key=1) as sp:
+            sp.tag(more=2)
+            yield sim.timeout(1.0)
+        return "done"
+
+    assert sim.run_process(proc()) == "done"
+    assert sim.tracer is None
+
+
+def test_nesting_within_one_process():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc():
+        with span(sim, "outer"):
+            yield sim.timeout(1.0)
+            with span(sim, "inner", k="v"):
+                yield sim.timeout(2.0)
+
+    sim.run_process(proc())
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root.name == "outer"
+    assert root.start_s == 0.0 and root.end_s == 3.0
+    (inner,) = root.children
+    assert inner.name == "inner"
+    assert inner.start_s == 1.0 and inner.end_s == 3.0
+    assert inner.tags == {"k": "v"}
+
+
+def test_interleaved_processes_do_not_cross_nest():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def worker(name, delay):
+        with span(sim, name):
+            yield sim.timeout(delay)
+            with span(sim, f"{name}.child"):
+                yield sim.timeout(delay)
+
+    sim.process(worker("a", 1.0))
+    sim.process(worker("b", 1.5))
+    sim.run()
+    roots = {r.name: r for r in tracer.roots}
+    assert set(roots) == {"a", "b"}
+    assert [c.name for c in roots["a"].children] == ["a.child"]
+    assert [c.name for c in roots["b"].children] == ["b.child"]
+
+
+def test_spawned_process_inherits_open_span():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def child():
+        with span(sim, "child.work"):
+            yield sim.timeout(5.0)
+
+    def parent():
+        with span(sim, "parent"):
+            proc = sim.process(child())
+            yield sim.timeout(0.1)
+        yield proc  # parent span closes before the child finishes
+
+    sim.run_process(parent())
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert [c.name for c in root.children] == ["child.work"]
+    # The child outlived its parent span: timestamps show the overlap.
+    assert root.children[0].end_s > root.end_s
+
+
+def test_error_status_and_tag():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc():
+        with span(sim, "failing"):
+            yield sim.timeout(1.0)
+            raise TransientFaultError("boom")
+
+    with pytest.raises(TransientFaultError):
+        sim.run_process(proc())
+    (root,) = tracer.roots
+    assert root.status == "error"
+    assert root.tags["error"] == "TransientFaultError"
+
+
+def test_find_and_traces_filtering():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc(logical):
+        with span(sim, "fetch", logical=logical):
+            with span(sim, "device.read", device="hdd"):
+                yield sim.timeout(1.0)
+
+    sim.run_process(proc("a.xtc"))
+    sim.run_process(proc("b.xtc"))
+    assert len(tracer.find("device.read")) == 2
+    assert len(tracer.find("fetch", logical="a.xtc")) == 1
+    # A deep tag match returns the enclosing timeline.
+    roots = tracer.traces(logical="b.xtc")
+    assert len(roots) == 1 and roots[0].tags["logical"] == "b.xtc"
+
+
+def test_trace_json_is_deterministic_and_renders():
+    def run():
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def proc():
+            with span(sim, "fetch", logical="x", tag="p"):
+                yield sim.timeout(0.25)
+
+        sim.run_process(proc())
+        return tracer
+
+    t1, t2 = run(), run()
+    assert t1.to_json() == t2.to_json()
+    text = render_trace(list(t1.roots))
+    assert "fetch" in text and "logical=x" in text
+
+
+def test_max_traces_bounds_retention():
+    sim = Simulator()
+    tracer = Tracer(sim, max_traces=2)
+
+    def proc(i):
+        with span(sim, f"root{i}"):
+            yield sim.timeout(1.0)
+
+    for i in range(5):
+        sim.run_process(proc(i))
+    assert [r.name for r in tracer.roots] == ["root3", "root4"]

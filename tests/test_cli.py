@@ -9,7 +9,7 @@ def test_list_prints_targets(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out.split()
     assert set(out) == set(GENERATORS) | {
-        "bench-codec", "bench-pipeline", "chaos"
+        "bench-codec", "bench-pipeline", "chaos", "metrics", "trace"
     }
 
 
@@ -65,3 +65,59 @@ def test_fig7_generator_output():
 def test_calibration_generator_output():
     text = GENERATORS["calibration"]()
     assert "compression ratio" in text
+
+
+# -- observability targets ---------------------------------------------------
+
+
+@pytest.mark.obs
+def test_metrics_selftest_smoke(capsys):
+    """CI smoke: the registry and both exporters round-trip their parsers."""
+    assert main(["metrics", "--selftest"]) == 0
+    assert "metrics selftest: OK" in capsys.readouterr().out
+
+
+@pytest.mark.obs
+def test_metrics_prometheus_export(capsys):
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE retriever_bytes_total counter" in out
+    assert "block_cache_hits_total" in out
+    from repro.obs.export import parse_prometheus
+
+    parsed = parse_prometheus(out)
+    assert parsed["prefetch_issued_total"][()] > 0
+
+
+@pytest.mark.obs
+def test_metrics_json_export(tmp_path):
+    import json
+
+    target = tmp_path / "metrics.json"
+    assert main(["metrics", "--json", "-o", str(target)]) == 0
+    record = json.loads(target.read_text())
+    assert record["schema_version"] == 1
+    assert {f["name"] for f in record["families"]} >= {
+        "device_ops_total", "retry_attempts_total"
+    }
+
+
+@pytest.mark.obs
+def test_trace_text_shows_dedup_join(capsys):
+    assert main(["trace", "--logical", "trace-demo.xtc", "--tag", "p"]) == 0
+    out = capsys.readouterr().out
+    assert "ada.fetch_chunks" in out
+    assert "retriever.dedup_join" in out
+    assert "device.read" in out
+
+
+@pytest.mark.obs
+def test_trace_json_filters(tmp_path):
+    import json
+
+    target = tmp_path / "trace.json"
+    assert main(
+        ["trace", "--json", "--logical", "no-such.xtc", "-o", str(target)]
+    ) == 0
+    record = json.loads(target.read_text())
+    assert record == {"schema_version": 1, "traces": []}
