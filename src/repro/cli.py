@@ -177,8 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=sorted(GENERATORS)
-        + ["all", "bench-codec", "bench-pipeline", "chaos", "metrics",
-           "trace", "list"],
+        + ["all", "bench-codec", "bench-ingest", "bench-pipeline", "chaos",
+           "metrics", "trace", "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -192,14 +192,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench = parser.add_argument_group("bench-codec options")
     bench.add_argument(
         "--json", action="store_true",
-        help="(bench-codec/bench-pipeline/chaos) write the JSON record "
-             "instead of text",
+        help="(bench-codec/bench-ingest/bench-pipeline/chaos) write the "
+             "JSON record instead of text",
     )
     bench.add_argument("--workers", type=int, default=0,
-                       help="(bench-codec) GOF workers; 0 = one per CPU")
-    bench.add_argument("--natoms", type=int, default=8000)
-    bench.add_argument("--nframes", type=int, default=30)
-    bench.add_argument("--keyframe-interval", type=int, default=10)
+                       help="host-side worker threads: GOF codec workers "
+                            "(bench-codec) and the ingest pre-processor's "
+                            "persistent pools (bench-ingest); "
+                            "0 = one per CPU")
+    bench.add_argument("--natoms", type=int, default=None,
+                       help="(bench-codec/bench-ingest) atoms in the "
+                            "generated system")
+    bench.add_argument("--nframes", type=int, default=None,
+                       help="(bench-codec/bench-ingest) trajectory frames")
+    bench.add_argument("--keyframe-interval", type=int, default=None,
+                       help="(bench-codec/bench-ingest) frames per GOF")
     bench.add_argument("--repeats", type=int, default=3,
                        help="(bench-codec) best-of-N timing repeats")
     pipe = parser.add_argument_group("bench-pipeline options")
@@ -209,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="(bench-pipeline) trajectory frames per chunk")
     pipe.add_argument("--window-chunks", type=int, default=8,
                       help="(bench-pipeline) chunks per playback window")
+    ingest = parser.add_argument_group("bench-ingest options")
+    ingest.add_argument("--window-frames", type=int, default=8,
+                        help="(bench-ingest) frames per ingest window")
+    ingest.add_argument("--depth", type=int, default=4,
+                        help="(bench-ingest) write-behind queue depth "
+                             "in windows")
     chaos = parser.add_argument_group("chaos options")
     chaos.add_argument("--seed", type=int, default=0,
                        help="(chaos) fault-plan / workload seed")
@@ -254,6 +267,45 @@ def _run_chaos(args) -> int:
 #: Canonical location of the bench-pipeline JSON record.  There is
 #: exactly one copy; override with ``-o/--output`` to write elsewhere.
 BENCH_PIPELINE_JSON = pathlib.Path("benchmarks/results/BENCH_pipeline.json")
+
+#: Canonical location of the bench-ingest JSON record.
+BENCH_INGEST_JSON = pathlib.Path("benchmarks/results/BENCH_ingest.json")
+
+
+def _run_bench_ingest(args) -> int:
+    from repro.harness.benchingest import (
+        render_ingest_bench,
+        run_ingest_bench,
+    )
+
+    result = run_ingest_bench(
+        natoms=args.natoms if args.natoms is not None else 4000,
+        nframes=args.nframes if args.nframes is not None else 160,
+        keyframe_interval=(
+            args.keyframe_interval
+            if args.keyframe_interval is not None else 8
+        ),
+        window_frames=args.window_frames,
+        depth=args.depth,
+        seed=args.seed if args.seed else 7,
+        workers=args.workers,
+    )
+    if args.json:
+        path = args.output or BENCH_INGEST_JSON
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        text = render_ingest_bench(result)
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    if not result["pass"]:
+        print("repro: bench-ingest below its floors", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_bench_pipeline(args) -> int:
@@ -364,9 +416,12 @@ def _run_bench_codec(args) -> int:
 
     try:
         result = run_codec_bench(
-            natoms=args.natoms,
-            nframes=args.nframes,
-            keyframe_interval=args.keyframe_interval,
+            natoms=args.natoms if args.natoms is not None else 8000,
+            nframes=args.nframes if args.nframes is not None else 30,
+            keyframe_interval=(
+                args.keyframe_interval
+                if args.keyframe_interval is not None else 10
+            ),
             workers=args.workers,
             repeats=args.repeats,
         )
@@ -393,6 +448,7 @@ def main(argv=None) -> int:
         for name in sorted(GENERATORS):
             print(name)
         print("bench-codec")
+        print("bench-ingest")
         print("bench-pipeline")
         print("chaos")
         print("metrics")
@@ -400,6 +456,8 @@ def main(argv=None) -> int:
         return 0
     if args.target == "bench-codec":
         return _run_bench_codec(args)
+    if args.target == "bench-ingest":
+        return _run_bench_ingest(args)
     if args.target == "bench-pipeline":
         return _run_bench_pipeline(args)
     if args.target == "chaos":

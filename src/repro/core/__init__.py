@@ -20,10 +20,15 @@ from repro.core.tags import PlacementPolicy, SelectionTagPolicy, TagPolicy
 from repro.core.categorizer import Categorizer
 from repro.core.generic import FieldSpec, GenericPreProcessor, RecordStructure
 from repro.core.labeler import LabelMap, build_label_map
-from repro.core.decompressor import Decompressor
-from repro.core.preprocessor import DataPreProcessor, PreProcessResult
+from repro.core.decompressor import Decompressor, TrajectoryWindow
+from repro.core.preprocessor import (
+    DataPreProcessor,
+    PreProcessResult,
+    WindowResult,
+)
 from repro.core.indexer import Indexer
 from repro.core.dispatcher import IODispatcher
+from repro.core.ingest import IngestPipeline, IngestPipelineConfig
 from repro.core.retriever import IORetriever
 from repro.core.determinator import IODeterminator
 from repro.core.middleware import ADA
@@ -36,6 +41,8 @@ __all__ = [
     "FieldSpec",
     "GenericPreProcessor",
     "Indexer",
+    "IngestPipeline",
+    "IngestPipelineConfig",
     "RecordStructure",
     "IODeterminator",
     "IODispatcher",
@@ -45,5 +52,7 @@ __all__ = [
     "PreProcessResult",
     "SelectionTagPolicy",
     "TagPolicy",
+    "TrajectoryWindow",
+    "WindowResult",
     "build_label_map",
 ]

@@ -17,8 +17,11 @@ Two performance knobs ride along with the codec's hot path:
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
-from typing import Optional
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import CodecError
 from repro.formats.dcd import DCD_MAGIC, decode_dcd
@@ -28,11 +31,36 @@ from repro.formats.xtc import (
     RAW_MAGIC,
     XTC_MAGIC,
     FrameIndex,
-    decode_raw,
+    decode_frame_range,
     decode_xtc,
+    decode_raw,
 )
 
-__all__ = ["Decompressor"]
+__all__ = ["Decompressor", "TrajectoryWindow"]
+
+
+@dataclass(frozen=True)
+class TrajectoryWindow:
+    """One decoded slice of an arriving trajectory stream.
+
+    ``[start, stop)`` are frame indices into the full stream; for
+    compressed streams the window is GOF-aligned (``start`` is a
+    keyframe), so each window decodes independently and the concatenation
+    of all windows is bit-identical to a whole-stream decode.
+    """
+
+    index: int
+    start: int
+    stop: int
+    trajectory: Trajectory
+
+    @property
+    def nframes(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def raw_nbytes(self) -> int:
+        return self.trajectory.nbytes
 
 
 class Decompressor:
@@ -60,6 +88,35 @@ class Decompressor:
         )
         self.index_hits = 0
         self.index_misses = 0
+        # Persistent codec pool: one pool for the life of the decompressor
+        # instead of one per decode call (streaming ingest decodes a window
+        # at a time -- per-call pool construction would dominate).
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _pool(self) -> Optional[ThreadPoolExecutor]:
+        """The lazily-created persistent worker pool (None when serial)."""
+        if self.workers is None:
+            return None
+        size = os.cpu_count() or 1 if self.workers == 0 else int(self.workers)
+        if size <= 1:
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="decomp"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "Decompressor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @staticmethod
     def sniff(data: bytes) -> str:
@@ -107,7 +164,10 @@ class Decompressor:
         kind = self.sniff(data)
         if kind == "xtc":
             return decode_xtc(
-                data, workers=self.workers, index=self.frame_index(data)
+                data,
+                workers=self.workers,
+                index=self.frame_index(data),
+                executor=self._pool(),
             )
         if kind == "dcd":
             return decode_dcd(data)
@@ -115,6 +175,77 @@ class Decompressor:
             trajectory, _velocities = decode_trr(data)
             return trajectory
         return decode_raw(data)
+
+    # -- streaming windows ------------------------------------------------
+
+    def window_spans(
+        self, data: bytes, window_frames: int
+    ) -> List[Tuple[int, int]]:
+        """``(start, stop)`` frame spans of the stream's ingest windows.
+
+        For compressed streams every span boundary is a keyframe: whole
+        GOFs are packed greedily until a window reaches ``window_frames``
+        frames, so a window never needs decode state from its neighbours.
+        Uncompressed containers have no inter-frame prediction and split
+        at exact multiples of ``window_frames``.
+        """
+        if window_frames < 1:
+            raise CodecError(
+                f"window_frames must be >= 1, got {window_frames}"
+            )
+        if self.sniff(data) == "xtc":
+            spans: List[Tuple[int, int]] = []
+            start = None
+            for gof_start, gof_stop in self.frame_index(data).gofs():
+                if start is None:
+                    start = gof_start
+                if gof_stop - start >= window_frames:
+                    spans.append((start, gof_stop))
+                    start = None
+            if start is not None:
+                spans.append((start, self.frame_index(data).nframes))
+            return spans
+        nframes = self.frame_count(data)
+        return [
+            (s, min(s + window_frames, nframes))
+            for s in range(0, nframes, window_frames)
+        ]
+
+    def iter_windows(
+        self, data: bytes, window_frames: int
+    ) -> Iterator[TrajectoryWindow]:
+        """Decode an arriving stream one GOF-aligned window at a time.
+
+        The streaming-ingest primitive: each yielded
+        :class:`TrajectoryWindow` is decoded lazily on ``next()``, so peak
+        memory is one window's frames (plus the encoded stream), not the
+        whole raw dataset.  Concatenating every window's frames is
+        bit-identical to :meth:`decompress` of the full stream.
+        """
+        kind = self.sniff(data)
+        spans = self.window_spans(data, window_frames)
+        if kind == "xtc":
+            index = self.frame_index(data)
+            for i, (start, stop) in enumerate(spans):
+                yield TrajectoryWindow(
+                    index=i,
+                    start=start,
+                    stop=stop,
+                    trajectory=decode_frame_range(
+                        data, start, stop, index=index
+                    ),
+                )
+        else:
+            # Uncompressed containers decode in one cheap pass; windows
+            # are zero-copy-ish slices of the decoded array.
+            trajectory = self.decompress(data)
+            for i, (start, stop) in enumerate(spans):
+                yield TrajectoryWindow(
+                    index=i,
+                    start=start,
+                    stop=stop,
+                    trajectory=trajectory.slice_frames(start, stop),
+                )
 
     def frame_count(self, data: bytes) -> int:
         """Frames in a compressed stream without inflating payloads."""

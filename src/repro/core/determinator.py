@@ -60,7 +60,7 @@ class IODeterminator:
         self.indexer = Indexer(sim, plfs, lookup_latency_s=indexer_latency_s)
         self.dispatcher = IODispatcher(
             sim, plfs, placement, spill_on_full=spill_on_full,
-            retrier=self.retrier,
+            retrier=self.retrier, metrics=self.metrics,
         )
         kwargs = {}
         if retriever_request_size is not None:
@@ -76,6 +76,28 @@ class IODeterminator:
     def store(self, logical: str, subsets: Dict[str, bytes]) -> Generator:
         """Process: dispatch materialized subsets to their backends."""
         records = yield from self.dispatcher.dispatch(logical, subsets)
+        return records
+
+    def store_sequential(
+        self, logical: str, subsets: Dict[str, bytes]
+    ) -> Generator:
+        """Process: dispatch subsets one at a time (serial-ingest baseline)."""
+        records = yield from self.dispatcher.dispatch_sequential(logical, subsets)
+        return records
+
+    def store_run(
+        self, logical: str, subsets: Dict[str, bytes], coalesce: bool = True
+    ) -> Generator:
+        """Process: dispatch one window's subsets as coalesced chunk runs.
+
+        Tags go out in sorted order (the same chunk-claim order as the
+        serial baseline), with backend-contiguous stretches batched into
+        span writes.
+        """
+        entries = [(tag, subsets[tag]) for tag in sorted(subsets)]
+        records = yield from self.dispatcher.dispatch_run(
+            logical, entries, coalesce=coalesce
+        )
         return records
 
     def store_virtual(self, logical: str, subset_sizes: Dict[str, int]) -> Generator:

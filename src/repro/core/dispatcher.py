@@ -11,6 +11,15 @@ backend is full, the dispatcher *spills* the subset to the inactive
 backend instead of failing the ingest -- the dataset stays complete, just
 slower, and the spill is recorded for operators.  Disable with
 ``spill_on_full=False`` to get the strict fail-fast behaviour.
+
+The streaming ingest pipeline drives :meth:`dispatch_run`: one window's
+``(tag, data)`` entries arrive in deterministic tag order, stretches bound
+for the same backend are written as one coalesced chunk run (one metadata
+operation, one seek-amortized transfer -- the write-side mirror of the
+retriever's request coalescing), and a ``StorageFullError`` spills the
+*whole* run to the inactive backend.  Traffic counters live in the shared
+:class:`MetricsRegistry`, so the write path shows up in the same
+Prometheus/JSON exports as the read path.
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ from repro.core.tags import PlacementPolicy
 from repro.errors import StorageFullError
 from repro.faults.retry import Retrier
 from repro.fs.plfs import PLFS, IndexRecord
+from repro.obs.metrics import Counter, MetricsRegistry, metric_view
+from repro.obs.trace import span
 from repro.sim import AllOf, Simulator
 
 __all__ = ["IODispatcher"]
@@ -34,6 +45,12 @@ class IODispatcher:
     is *not* a fault -- it propagates straight to the spill logic.
     """
 
+    writes = metric_view("_metric_fields", key="writes")
+    spill_count = metric_view("_metric_fields", key="spill_count")
+    coalesced_runs = metric_view("_metric_fields", key="coalesced_runs")
+    coalesced_chunks = metric_view("_metric_fields", key="coalesced_chunks")
+    requests_saved = metric_view("_metric_fields", key="requests_saved")
+
     def __init__(
         self,
         sim: Simulator,
@@ -41,15 +58,61 @@ class IODispatcher:
         placement: PlacementPolicy,
         spill_on_full: bool = True,
         retrier: Optional[Retrier] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.plfs = plfs
         self.placement = placement
         self.spill_on_full = spill_on_full
         self.retrier = retrier if retrier is not None else Retrier(sim)
-        self.dispatched_bytes: Dict[str, float] = {}
+        # Registry-backed accounting (mirrors the retriever): the views
+        # above keep ``+=`` call sites working while the exporters see the
+        # same numbers.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metric_fields = {
+            "writes": self.metrics.counter("dispatcher_writes_total"),
+            "spill_count": self.metrics.counter("dispatcher_spills_total"),
+            "coalesced_runs": self.metrics.counter(
+                "dispatcher_coalesced_runs_total"
+            ),  # chunk runs written as one span
+            "coalesced_chunks": self.metrics.counter(
+                "dispatcher_coalesced_chunks_total"
+            ),  # chunks that rode in those spans
+            "requests_saved": self.metrics.counter(
+                "dispatcher_requests_saved_total"
+            ),  # backend requests coalescing removed
+        }
+        #: tag -> dispatcher_bytes_total counter (created on first dispatch).
+        self._bytes_counters: Dict[str, Counter] = {}
         #: (logical, tag, preferred backend, actual backend) spill records.
         self.spills: List[Tuple[str, str, str, str]] = []
+
+    @property
+    def dispatched_bytes(self) -> Dict[str, int]:
+        """Per-tag bytes successfully dispatched (a registry view).
+
+        Values are exact ints -- byte counts, not measurements -- and each
+        tag is counted once per chunk, *after* its write (and any spill)
+        finally succeeds, so retried or spilled chunks never double-count.
+        """
+        return {
+            tag: int(counter.value)
+            for tag, counter in self._bytes_counters.items()
+        }
+
+    def _count_bytes(self, tag: str, nbytes: int) -> None:
+        counter = self._bytes_counters.get(tag)
+        if counter is None:
+            counter = self.metrics.counter("dispatcher_bytes_total", tag=tag)
+            self._bytes_counters[tag] = counter
+        counter.inc(int(nbytes))
+
+    def coalesce_stats(self) -> Dict[str, object]:
+        return {
+            "coalesced_runs": self.coalesced_runs,
+            "coalesced_chunks": self.coalesced_chunks,
+            "requests_saved": self.requests_saved,
+        }
 
     def dispatch(
         self,
@@ -71,6 +134,62 @@ class IODispatcher:
         records = yield AllOf(self.sim, procs)
         return records
 
+    def dispatch_sequential(
+        self,
+        logical: str,
+        subsets: Dict[str, bytes],
+        request_size: Optional[int] = None,
+    ) -> Generator:
+        """Process: write every subset one at a time, in tag order.
+
+        The serial-ingest baseline: same chunk numbering and index records
+        as :meth:`dispatch_run` over the same subsets (tags claim chunks
+        in sorted order either way), but one uncoalesced backend write --
+        and one index flush -- per chunk.
+        """
+        records = []
+        for tag in sorted(subsets):
+            record = yield from self._dispatch_one(
+                logical, tag, data=subsets[tag], nbytes=None,
+                request_size=request_size,
+            )
+            records.append(record)
+        return records
+
+    def dispatch_run(
+        self,
+        logical: str,
+        entries: List[Tuple[str, bytes]],
+        request_size: Optional[int] = None,
+        coalesce: bool = True,
+    ) -> Generator:
+        """Process: write one window's ``(tag, data)`` entries as chunk runs.
+
+        Consecutive entries whose tags place on the same backend form a
+        *run* written via :meth:`PLFS.write_chunk_run` -- coalesced into a
+        single span write when ``coalesce`` is set.  Runs go out
+        sequentially (the write-behind consumer drains windows in order,
+        which keeps index-record order deterministic); each run retries as
+        a unit and spills as a unit on ``StorageFullError``.  Returns the
+        :class:`IndexRecord` list in ``entries`` order.
+        """
+        if not entries:
+            return []
+        runs: List[Tuple[str, List[Tuple[str, bytes]]]] = []
+        for tag, data in entries:
+            backend = self.placement.backend_for(tag)
+            if runs and runs[-1][0] == backend:
+                runs[-1][1].append((tag, data))
+            else:
+                runs.append((backend, [(tag, data)]))
+        records: List[IndexRecord] = []
+        for backend, run_entries in runs:
+            recs = yield from self._dispatch_chunk_run(
+                logical, backend, run_entries, request_size, coalesce
+            )
+            records.extend(recs)
+        return records
+
     def dispatch_virtual(
         self, logical: str, subset_sizes: Dict[str, int]
     ) -> Generator:
@@ -89,6 +208,11 @@ class IODispatcher:
     def backend_for(self, tag: str) -> str:
         return self.placement.backend_for(tag)
 
+    def _fallback_for(self, preferred: str) -> Optional[str]:
+        if self.spill_on_full and preferred != self.placement.inactive_backend:
+            return self.placement.inactive_backend
+        return None
+
     def _dispatch_one(
         self,
         logical: str,
@@ -98,11 +222,7 @@ class IODispatcher:
         request_size: Optional[int],
     ) -> Generator:
         preferred = self.placement.backend_for(tag)
-        fallback = (
-            self.placement.inactive_backend
-            if self.spill_on_full and preferred != self.placement.inactive_backend
-            else None
-        )
+        fallback = self._fallback_for(preferred)
         try:
             record: IndexRecord = yield from self.retrier.call(
                 lambda: self.plfs.write_subset(
@@ -130,6 +250,67 @@ class IODispatcher:
                 key=f"spill:{logical}#{tag}",
             )
             self.spills.append((logical, tag, preferred, fallback))
-        size = record.nbytes
-        self.dispatched_bytes[tag] = self.dispatched_bytes.get(tag, 0.0) + size
+            self.spill_count += 1
+        self.writes += 1
+        self._count_bytes(record.tag, record.nbytes)
         return record
+
+    def _dispatch_chunk_run(
+        self,
+        logical: str,
+        preferred: str,
+        entries: List[Tuple[str, bytes]],
+        request_size: Optional[int],
+        coalesce: bool,
+    ) -> Generator:
+        """Process: one retried, spillable write of a backend chunk run.
+
+        Byte/chunk counters move only after the run's final landing spot
+        accepts it, so a run that fails on the preferred backend and lands
+        on the fallback is counted exactly once.
+        """
+        fallback = self._fallback_for(preferred)
+        first, last = entries[0][0], entries[-1][0]
+        tag_span = first if last == first else f"{first}-{last}"
+        do_coalesce = coalesce and len(entries) > 1
+        with span(
+            self.sim, "dispatcher.write_run",
+            logical=logical, tags=tag_span, chunks=len(entries),
+            backend=preferred, coalesced=do_coalesce,
+        ) as sp:
+            try:
+                recs: List[IndexRecord] = yield from self.retrier.call(
+                    lambda: self.plfs.write_chunk_run(
+                        logical,
+                        entries,
+                        backend=preferred,
+                        request_size=request_size,
+                        coalesce=do_coalesce,
+                    ),
+                    key=f"write:{logical}#{tag_span}:{len(entries)}",
+                )
+            except StorageFullError:
+                if fallback is None:
+                    raise
+                recs = yield from self.retrier.call(
+                    lambda: self.plfs.write_chunk_run(
+                        logical,
+                        entries,
+                        backend=fallback,
+                        request_size=request_size,
+                        coalesce=do_coalesce,
+                    ),
+                    key=f"spill:{logical}#{tag_span}:{len(entries)}",
+                )
+                for tag in sorted({tag for tag, _ in entries}):
+                    self.spills.append((logical, tag, preferred, fallback))
+                    self.spill_count += 1
+                sp.tag(spilled_to=fallback)
+        self.writes += len(recs)
+        if do_coalesce:
+            self.coalesced_runs += 1
+            self.coalesced_chunks += len(recs)
+            self.requests_saved += len(recs) - 1
+        for rec in recs:
+            self._count_bytes(rec.tag, rec.nbytes)
+        return recs

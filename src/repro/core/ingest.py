@@ -1,0 +1,312 @@
+"""The streaming ingest pipeline: windowed pre-processing overlapped with
+write-behind dispatch.
+
+The monolithic ingest path (:meth:`ADA.ingest`) decompresses and
+categorizes the *entire* arriving trajectory on the storage CPU, then
+dispatches every subset -- peak memory is the whole raw dataset and the
+backends sit idle while the CPU works (and vice versa).  This module
+pipelines the two stages:
+
+* the **producer** pulls GOF-aligned windows from
+  :meth:`DataPreProcessor.process_windows`, pays the storage-CPU charge
+  for each, and pushes the encoded per-tag blobs into a bounded
+  write-behind queue;
+* the **consumer** drains the queue in arrival order and dispatches each
+  window's subsets as coalesced chunk runs
+  (:meth:`IODispatcher.dispatch_run`).
+
+Because the storage CPU and the backend devices are independent simulated
+resources, window *k*'s categorize/encode overlaps window *k-1*'s device
+writes.  The queue is bounded by ``depth`` windows and (optionally)
+``max_buffered_bytes``, so peak buffered memory is O(window x depth), not
+O(raw dataset); a full queue *backpressures* the producer, which is how a
+slow tier throttles a fast simulation stream instead of ballooning the
+buffer.  An empty queue always admits one window, so a single oversized
+window can never deadlock the pipeline.
+
+Determinism: the consumer dispatches windows strictly in arrival order
+and each window's tags go out sorted, so chunk numbering -- and therefore
+every stored path, CRC, and index record -- is identical to the serial
+(``pipelined=False``) schedule over the same windows.  The pipeline only
+moves *when* bytes hit the backends, never *which* bytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Generator, Iterable, List, Optional
+
+from repro.core.preprocessor import WindowResult
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry, metric_view
+from repro.obs.trace import span
+from repro.sim import AllOf, Event, Simulator
+
+__all__ = ["IngestPipeline", "IngestPipelineConfig"]
+
+#: Frames per ingest window when the caller does not choose (compressed
+#: streams round up to whole GOFs, so the effective window may be larger).
+DEFAULT_WINDOW_FRAMES = 64
+
+
+@dataclass(frozen=True)
+class IngestPipelineConfig:
+    """Tuning knobs for the streaming ingest path.
+
+    ``depth`` bounds how many pre-processed windows may be buffered
+    (queued plus in dispatch) at once; ``max_buffered_bytes`` adds a byte
+    watermark on top.  ``pipelined=False`` runs the identical windowed
+    schedule with no overlap and no coalescing -- the serial baseline the
+    ``bench-ingest`` harness measures against.
+    """
+
+    window_frames: int = DEFAULT_WINDOW_FRAMES
+    depth: int = 4
+    max_buffered_bytes: Optional[int] = None
+    coalesce: bool = True
+    pipelined: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_frames < 1:
+            raise ConfigurationError(
+                f"window_frames must be >= 1, got {self.window_frames}"
+            )
+        if self.depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {self.depth}")
+        if self.max_buffered_bytes is not None and self.max_buffered_bytes < 1:
+            raise ConfigurationError(
+                f"max_buffered_bytes must be >= 1, got {self.max_buffered_bytes}"
+            )
+
+
+class IngestPipeline:
+    """Producer/consumer overlap of per-window CPU work and dispatch.
+
+    One instance may :meth:`run` several streams; counters accumulate in
+    the shared :class:`MetricsRegistry` (``ingest_*`` families), so the
+    write path's queue depth, buffered bytes, and backpressure stalls are
+    visible in the same exports as the read path's cache and coalescing
+    counters.
+    """
+
+    windows = metric_view("_metric_fields", key="windows")
+    backpressure_waits = metric_view("_metric_fields", key="backpressure_waits")
+    backpressure_seconds = metric_view(
+        "_metric_fields", key="backpressure_seconds", cast=float
+    )
+    cpu_seconds = metric_view("_metric_fields", key="cpu_seconds", cast=float)
+    dispatch_seconds = metric_view(
+        "_metric_fields", key="dispatch_seconds", cast=float
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[IngestPipelineConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.sim = sim
+        self.config = config or IngestPipelineConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metric_fields = {
+            "windows": self.metrics.counter("ingest_windows_total"),
+            "backpressure_waits": self.metrics.counter(
+                "ingest_backpressure_waits_total"
+            ),  # producer stalls on a full queue
+            "backpressure_seconds": self.metrics.counter(
+                "ingest_backpressure_seconds_total"
+            ),  # simulated seconds spent stalled
+            "cpu_seconds": self.metrics.counter("ingest_cpu_seconds_total"),
+            "dispatch_seconds": self.metrics.counter(
+                "ingest_dispatch_seconds_total"
+            ),
+        }
+        #: Windows currently buffered: queued plus the one in dispatch.
+        self._held = 0
+        self._buffered_bytes = 0
+        self.queue_depth_peak = 0
+        self.buffered_bytes_peak = 0
+        self.metrics.gauge("ingest_queue_depth", fn=lambda: self._held)
+        self.metrics.gauge(
+            "ingest_buffered_bytes", fn=lambda: self._buffered_bytes
+        )
+        self._peak_depth_gauge = self.metrics.gauge("ingest_queue_depth_peak")
+        self._peak_bytes_gauge = self.metrics.gauge(
+            "ingest_buffered_bytes_peak"
+        )
+        self._space_event: Optional[Event] = None
+        self._data_event: Optional[Event] = None
+        self.last_elapsed_s = 0.0
+
+    # -- entry point --------------------------------------------------------
+
+    def run(
+        self,
+        windows: Iterable[WindowResult],
+        cpu_charge: Callable[[int], Generator],
+        dispatch_window: Callable[[WindowResult], Generator],
+    ) -> Generator:
+        """Process: drive a window stream through pre-process + dispatch.
+
+        ``cpu_charge(raw_nbytes)`` is the storage-CPU cost of one window
+        (a DES process); ``dispatch_window(result)`` writes one window's
+        subsets and returns its index records.  Returns the per-window
+        record lists in window order.
+        """
+        started = self.sim.now
+        records: List[list] = []
+        if not self.config.pipelined:
+            for result in windows:
+                t0 = self.sim.now
+                yield from cpu_charge(result.raw_nbytes)
+                self.cpu_seconds += self.sim.now - t0
+                t0 = self.sim.now
+                recs = yield from dispatch_window(result)
+                self.dispatch_seconds += self.sim.now - t0
+                records.append(recs)
+                self.windows += 1
+            self.last_elapsed_s = self.sim.now - started
+            return records
+        state: Dict[str, object] = {"done": False, "error": None}
+        queue: Deque[WindowResult] = deque()
+        producer = self.sim.process(
+            self._produce(windows, cpu_charge, queue, state),
+            name="ingest:producer",
+        )
+        consumer = self.sim.process(
+            self._consume(dispatch_window, queue, state, records),
+            name="ingest:consumer",
+        )
+        yield AllOf(self.sim, [producer, consumer])
+        self.last_elapsed_s = self.sim.now - started
+        return records
+
+    # -- the two stages -----------------------------------------------------
+
+    def _produce(
+        self,
+        windows: Iterable[WindowResult],
+        cpu_charge: Callable[[int], Generator],
+        queue: Deque[WindowResult],
+        state: Dict[str, object],
+    ) -> Generator:
+        """Process: pre-process windows, enqueue under backpressure."""
+        try:
+            for result in windows:
+                t0 = self.sim.now
+                yield from cpu_charge(result.raw_nbytes)
+                self.cpu_seconds += self.sim.now - t0
+                while state["error"] is None and not self._admits(result):
+                    self.backpressure_waits += 1
+                    with span(
+                        self.sim, "ingest.backpressure",
+                        window=result.index, depth=self._held,
+                        buffered=self._buffered_bytes,
+                    ):
+                        t0 = self.sim.now
+                        event = self.sim.event()
+                        self._space_event = event
+                        yield event
+                        self.backpressure_seconds += self.sim.now - t0
+                if state["error"] is not None:
+                    # The consumer already failed; surface its error here
+                    # too so the AllOf barrier cannot hang on us.
+                    raise state["error"]  # type: ignore[misc]
+                queue.append(result)
+                self._held += 1
+                self._buffered_bytes += result.nbytes
+                if self._held > self.queue_depth_peak:
+                    self.queue_depth_peak = self._held
+                    self._peak_depth_gauge.set(self._held)
+                if self._buffered_bytes > self.buffered_bytes_peak:
+                    self.buffered_bytes_peak = self._buffered_bytes
+                    self._peak_bytes_gauge.set(self._buffered_bytes)
+                self._wake(which="data")
+        finally:
+            state["done"] = True
+            self._wake(which="data")
+
+    def _consume(
+        self,
+        dispatch_window: Callable[[WindowResult], Generator],
+        queue: Deque[WindowResult],
+        state: Dict[str, object],
+        records: List[list],
+    ) -> Generator:
+        """Process: drain windows in arrival order, dispatching each."""
+        while True:
+            if not queue:
+                if state["done"]:
+                    return
+                event = self.sim.event()
+                self._data_event = event
+                yield event
+                continue
+            result = queue.popleft()
+            t0 = self.sim.now
+            try:
+                recs = yield from dispatch_window(result)
+            except BaseException as exc:
+                state["error"] = exc
+                raise
+            finally:
+                self.dispatch_seconds += self.sim.now - t0
+                self._held -= 1
+                self._buffered_bytes -= result.nbytes
+                self._wake(which="space")
+            records.append(recs)
+            self.windows += 1
+
+    # -- internals ----------------------------------------------------------
+
+    def _admits(self, result: WindowResult) -> bool:
+        """May one more window enter the write-behind buffer?
+
+        An empty buffer always admits (no-deadlock invariant); otherwise
+        both the depth bound and the byte watermark must hold.
+        """
+        if self._held == 0:
+            return True
+        if self._held >= self.config.depth:
+            return False
+        limit = self.config.max_buffered_bytes
+        return limit is None or self._buffered_bytes + result.nbytes <= limit
+
+    def _wake(self, which: str) -> None:
+        if which == "space":
+            event, self._space_event = self._space_event, None
+        else:
+            event, self._data_event = self._data_event, None
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot of the pipeline's registry counters.
+
+        ``overlap_ratio`` is the fraction of the *overlappable* work that
+        actually overlapped in the last run: with CPU time C, dispatch
+        time D, and wall time W, overlap is ``C + D - W`` and the
+        achievable maximum is ``min(C, D)``.  Serial runs report 0.
+        """
+        cpu = self.cpu_seconds
+        io = self.dispatch_seconds
+        wall = self.last_elapsed_s
+        bound = min(cpu, io)
+        overlap = max(0.0, cpu + io - wall) / bound if bound > 0 else 0.0
+        return {
+            "enabled": True,
+            "pipelined": self.config.pipelined,
+            "window_frames": self.config.window_frames,
+            "depth": self.config.depth,
+            "max_buffered_bytes": self.config.max_buffered_bytes,
+            "windows": self.windows,
+            "backpressure_waits": self.backpressure_waits,
+            "backpressure_seconds": self.backpressure_seconds,
+            "cpu_seconds": cpu,
+            "dispatch_seconds": io,
+            "elapsed_seconds": wall,
+            "overlap_ratio": min(1.0, overlap),
+            "queue_depth_peak": self.queue_depth_peak,
+            "buffered_bytes_peak": self.buffered_bytes_peak,
+        }

@@ -8,9 +8,10 @@ every read, on a compute node, as the traditional workflow does.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from repro.core.categorizer import Categorizer
 from repro.core.decompressor import Decompressor
@@ -22,7 +23,12 @@ from repro.formats.trajectory import Trajectory
 from repro.formats.dcd import encode_dcd
 from repro.formats.xtc import encode_raw, encode_xtc, resolve_workers
 
-__all__ = ["DataPreProcessor", "PreProcessResult", "SUBSET_ENCODERS"]
+__all__ = [
+    "DataPreProcessor",
+    "PreProcessResult",
+    "SUBSET_ENCODERS",
+    "WindowResult",
+]
 
 #: How dispatched subsets are serialized.  The paper stores them
 #: decompressed ("raw") so reads skip inflation entirely; "xtc" trades
@@ -54,6 +60,36 @@ class PreProcessResult:
         return sorted(self.subsets)
 
 
+@dataclass
+class WindowResult:
+    """One pre-processed ingest window, ready for write-behind dispatch.
+
+    The streaming counterpart of :class:`PreProcessResult`: same per-tag
+    encoded subset blobs, but covering frames ``[start, stop)`` of the
+    arriving stream only, so the dispatcher can start writing window 0
+    while window 1 is still being categorized.
+    """
+
+    index: int
+    start: int
+    stop: int
+    subsets: Dict[str, bytes]  # tag -> encoded container for this window
+    raw_nbytes: int  # decompressed size of the window
+
+    @property
+    def nframes(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded bytes this window holds in the write-behind buffer."""
+        return sum(len(blob) for blob in self.subsets.values())
+
+    @property
+    def tags(self) -> list:
+        return sorted(self.subsets)
+
+
 class DataPreProcessor:
     """Storage-side pipeline: structure analysis + dataset division."""
 
@@ -73,6 +109,37 @@ class DataPreProcessor:
         self.workers = workers
         self.categorizer = Categorizer(self.policy)
         self.decompressor = Decompressor(workers=workers)
+        # Persistent encode pool: streaming ingestion calls ``_divide``
+        # once per appended chunk/window, so constructing (and tearing
+        # down) a ThreadPoolExecutor per call would churn threads on the
+        # hot path.  Created lazily on the first parallel divide.
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _pool(self) -> Optional[ThreadPoolExecutor]:
+        """The lazily-created persistent encode pool (None when serial)."""
+        if self.workers is None:
+            return None
+        size = os.cpu_count() or 1 if self.workers == 0 else int(self.workers)
+        if size <= 1:
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="preproc"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the persistent pools (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.decompressor.close()
+
+    def __enter__(self) -> "DataPreProcessor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def analyze_structure(self, pdb_text: str) -> LabelMap:
         """Algorithm 1 applied to a ``.pdb`` file."""
@@ -103,19 +170,50 @@ class DataPreProcessor:
         trajectory = self.decompressor.decompress(trajectory_blob)
         return self._divide(label_map, trajectory, len(trajectory_blob))
 
-    def _divide(
-        self, label_map: LabelMap, trajectory: Trajectory, compressed_nbytes: int
-    ) -> PreProcessResult:
+    def process_windows(
+        self,
+        label_map: LabelMap,
+        trajectory_blob: bytes,
+        window_frames: int,
+    ) -> Iterator[WindowResult]:
+        """Pre-process an arriving stream one GOF-aligned window at a time.
+
+        Lazily decodes, categorizes, and encodes ``window_frames``-frame
+        windows (compressed streams round up to whole GOFs): each
+        ``next()`` performs one window's CPU work, which is what the
+        streaming ingest pipeline overlaps with backend dispatch of the
+        previous windows.  Every subset byte across all windows equals a
+        monolithic :meth:`process_chunk` split of the same blob.
+        """
+        for window in self.decompressor.iter_windows(
+            trajectory_blob, window_frames
+        ):
+            yield WindowResult(
+                index=window.index,
+                start=window.start,
+                stop=window.stop,
+                subsets=self._encode_split(label_map, window.trajectory),
+                raw_nbytes=window.raw_nbytes,
+            )
+
+    def _encode_split(
+        self, label_map: LabelMap, trajectory: Trajectory
+    ) -> Dict[str, bytes]:
+        """Categorize + encode one trajectory (or window) into subset blobs."""
         encoder = SUBSET_ENCODERS[self.subset_format]
         split = self.categorizer.split(trajectory, label_map)
         nworkers = resolve_workers(self.workers, len(split))
-        if nworkers > 1:
+        pool = self._pool() if nworkers > 1 else None
+        if pool is not None:
             tags = list(split)
-            with ThreadPoolExecutor(max_workers=nworkers) as pool:
-                blobs = list(pool.map(lambda t: encoder(split[t]), tags))
-            subsets = dict(zip(tags, blobs))
-        else:
-            subsets = {tag: encoder(sub) for tag, sub in split.items()}
+            blobs = list(pool.map(lambda t: encoder(split[t]), tags))
+            return dict(zip(tags, blobs))
+        return {tag: encoder(sub) for tag, sub in split.items()}
+
+    def _divide(
+        self, label_map: LabelMap, trajectory: Trajectory, compressed_nbytes: int
+    ) -> PreProcessResult:
+        subsets = self._encode_split(label_map, trajectory)
         return PreProcessResult(
             label_map=label_map,
             subsets=subsets,

@@ -629,6 +629,7 @@ def encode_xtc(
     level: int = 6,
     keyframe_interval: int = 100,
     workers: Optional[int] = None,
+    executor: Optional[ThreadPoolExecutor] = None,
 ) -> bytes:
     """Serialize a trajectory to an XTC-like compressed byte stream.
 
@@ -638,7 +639,10 @@ def encode_xtc(
     group of frames (keyframe to keyframe) is encoded against only its own
     frames, GOFs are embarrassingly parallel: ``workers`` (see
     :func:`resolve_workers`) fans them out to a thread pool and the
-    concatenated result is bit-identical to a serial encode.
+    concatenated result is bit-identical to a serial encode.  ``executor``
+    supplies a long-lived pool (callers encoding many blobs avoid the
+    construct/teardown churn of a per-call pool); without one a transient
+    pool is used.
     """
     if precision <= 0:
         raise CodecError(f"precision must be positive, got {precision}")
@@ -663,15 +667,14 @@ def encode_xtc(
             _encode_gof(trajectory, s, e, precision, level, box9) for s, e in spans
         ]
     else:
-        with ThreadPoolExecutor(max_workers=nworkers) as pool:
-            parts = list(
-                pool.map(
-                    lambda span: _encode_gof(
-                        trajectory, span[0], span[1], precision, level, box9
-                    ),
-                    spans,
-                )
-            )
+        encode = lambda span: _encode_gof(  # noqa: E731
+            trajectory, span[0], span[1], precision, level, box9
+        )
+        if executor is not None:
+            parts = list(executor.map(encode, spans))
+        else:
+            with ThreadPoolExecutor(max_workers=nworkers) as pool:
+                parts = list(pool.map(encode, spans))
     return b"".join(parts)
 
 
@@ -828,6 +831,7 @@ def decode_xtc(
     atom_indices: Optional[np.ndarray] = None,
     workers: Optional[int] = None,
     index: Optional[FrameIndex] = None,
+    executor: Optional[ThreadPoolExecutor] = None,
 ) -> Trajectory:
     """Decompress an XTC stream into a :class:`Trajectory`.
 
@@ -839,7 +843,10 @@ def decode_xtc(
     ``workers`` (see :func:`resolve_workers`) decodes independent groups of
     frames concurrently; results are reassembled in stream order, so the
     output is bit-identical to a serial decode.  ``index`` reuses an
-    existing :class:`FrameIndex` instead of rescanning headers.
+    existing :class:`FrameIndex` instead of rescanning headers; ``executor``
+    reuses a long-lived thread pool instead of constructing one per call
+    (the :class:`~repro.core.decompressor.Decompressor` holds one for its
+    streaming-ingest windows).
     """
     idx = index if index is not None else FrameIndex.build(data)
     infos = idx.infos
@@ -851,18 +858,17 @@ def decode_xtc(
     if nworkers <= 1:
         _decode_run(data, infos, coords, atom_indices=selection)
     else:
-        with ThreadPoolExecutor(max_workers=nworkers) as pool:
-            list(
-                pool.map(
-                    lambda span: _decode_run(
-                        data,
-                        infos[span[0] : span[1]],
-                        coords[span[0] : span[1]],
-                        atom_indices=selection,
-                    ),
-                    gofs,
-                )
-            )
+        decode = lambda span: _decode_run(  # noqa: E731
+            data,
+            infos[span[0] : span[1]],
+            coords[span[0] : span[1]],
+            atom_indices=selection,
+        )
+        if executor is not None:
+            list(executor.map(decode, gofs))
+        else:
+            with ThreadPoolExecutor(max_workers=nworkers) as pool:
+                list(pool.map(decode, gofs))
     return Trajectory(
         coords=coords,
         steps=[i.step for i in infos],

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Tuple
 
 from repro.faults.plan import FaultDecision, FaultPlan, raise_fault
 from repro.fs.memfs import ObjectStore
@@ -90,6 +90,38 @@ class FileSystem(ABC):
                 path, request_size=request_size, label=label
             )
             objs.append(obj)
+        return objs
+
+    def write_span(
+        self,
+        items: List[Tuple[str, bytes]],
+        request_size: Optional[int] = None,
+        label: str = "write",
+    ) -> Generator:
+        """Process: persist several objects as one coalesced span.
+
+        The write-side mirror of :meth:`read_span`: ``items`` is a list of
+        ``(path, data)`` pairs bound for this backend.  The base
+        implementation writes each object in turn; single-device backends
+        override it to charge one metadata operation and one
+        seek-amortized transfer for the span's total size.  A mid-span
+        failure must leave no partial objects behind (the caller retries
+        the whole span), so the sequential fallback rolls back anything it
+        already stored before re-raising.  Returns the
+        :class:`StoredObject` list in ``items`` order.
+        """
+        objs: List[StoredObject] = []
+        try:
+            for path, data in items:
+                obj = yield from self.write(
+                    path, data=data, request_size=request_size, label=label
+                )
+                objs.append(obj)
+        except BaseException:
+            for obj in objs:
+                if self.store.exists(obj.path):
+                    self.delete(obj.path)
+            raise
         return objs
 
     # -- synchronous helpers --------------------------------------------------

@@ -118,6 +118,46 @@ class LocalFS(FileSystem):
                 objs.append(StoredObject(path=path, nbytes=size, data=data))
             return objs
 
+    def write_span(
+        self,
+        items,
+        request_size: Optional[int] = None,
+        label: str = "write",
+    ) -> Generator:
+        """Process: coalesced write of several objects to the one device.
+
+        The write-behind mirror of :meth:`read_span`: one metadata
+        operation and one seek-amortized device transfer cover the span's
+        total size, so a batch of log-structured subset chunks stops
+        paying the per-chunk seek tax.  Capacity is reserved up front
+        (``StorageFullError`` before any state changes, so the caller can
+        spill the whole span) and nothing is stored until the device
+        transfer completes -- a mid-span fault leaves no partial objects.
+        """
+        if not items:
+            return []
+        with span(
+            self.sim, "fs.write_span",
+            fs=self.name, paths=len(items), first=items[0][0],
+        ):
+            yield from self._fault_gate("write", items[0][0])
+            sizes = [self._payload_size(data, None) for _, data in items]
+            total = sum(sizes)
+            self.device.allocate(total)
+            try:
+                yield self.sim.timeout(self.metadata_latency_s)
+                requests = self._request_count(total, request_size)
+                yield from self.device.write(total, requests=requests, label=label)
+            except FaultError:
+                self.device.free(total)
+                raise
+            objs = []
+            for (path, data), size in zip(items, sizes):
+                self.store.put(path, data=data, nbytes=size)
+                self.bytes_written += size
+                objs.append(StoredObject(path=path, nbytes=size, data=data))
+            return objs
+
     def delete(self, path: str) -> int:
         """Remove an object and release its device capacity."""
         freed = super().delete(path)

@@ -234,6 +234,91 @@ class PLFS:
             self.verify_chunk(record, obj)
         return objs
 
+    def write_chunk_run(
+        self,
+        logical: str,
+        entries: List[tuple],
+        backend: str,
+        request_size: Optional[int] = None,
+        coalesce: bool = True,
+    ) -> Generator:
+        """Process: append one *run* of chunks bound for a single backend.
+
+        The write-side mirror of :meth:`read_chunk_run`: ``entries`` is a
+        list of ``(tag, data)`` pairs.  With ``coalesce`` the run reaches
+        the backend as one span write -- one metadata operation, one
+        seek-amortized transfer -- instead of one request per chunk.  Each
+        chunk keeps its own index record and CRC-32, so tag-selective
+        reads and per-chunk verification are unchanged, and the whole run
+        shares a single index flush.
+
+        Failure semantics match :meth:`write_subset`, scoped to the run:
+        chunk numbers are claimed up front (a failed run leaves counter
+        gaps, never reused names), no index record is registered until the
+        backend write succeeds, and an index-flush fault rolls back every
+        chunk of the run so a dispatcher-level retry rewrites it cleanly.
+        ``StorageFullError`` propagates before any chunk is stored, so the
+        caller can spill the *whole* run.  Returns the run's
+        :class:`IndexRecord` list in ``entries`` order.
+        """
+        if backend not in self.backends:
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        if not entries:
+            return []
+        records = self._indexes.setdefault(logical, [])
+        backend_fs = self.backends[backend]
+        chunks = []
+        for tag, _data in entries:
+            chunk = self._chunk_counters.get((logical, tag), 0)
+            self._chunk_counters[(logical, tag)] = chunk + 1
+            chunks.append(chunk)
+        items = [
+            (self.chunk_path(logical, tag, chunk), data)
+            for (tag, data), chunk in zip(entries, chunks)
+        ]
+        if coalesce:
+            yield from backend_fs.write_span(
+                items, request_size=request_size, label="plfs"
+            )
+        else:
+            stored = []
+            try:
+                for path, data in items:
+                    yield from backend_fs.write(
+                        path, data=data, request_size=request_size,
+                        label="plfs",
+                    )
+                    stored.append(path)
+            except BaseException:
+                for path in stored:
+                    if backend_fs.exists(path):
+                        backend_fs.delete(path)
+                raise
+        run_records = [
+            IndexRecord(
+                tag=tag,
+                backend=backend,
+                path=path,
+                nbytes=len(data),
+                chunk=chunk,
+                crc=zlib.crc32(data),
+            )
+            for (tag, data), (path, _), chunk in zip(entries, items, chunks)
+        ]
+        records.extend(run_records)
+        try:
+            yield from self._flush_index(logical)
+        except FaultError:
+            # Roll the whole run back (records by identity -- concurrent
+            # writers may have appended behind us) so a retry rewrites it
+            # cleanly instead of duplicating subset bytes.
+            for record in run_records:
+                records.remove(record)
+                if backend_fs.exists(record.path):
+                    backend_fs.delete(record.path)
+            raise
+        return run_records
+
     def read_subset(
         self,
         logical: str,

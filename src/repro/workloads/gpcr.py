@@ -84,11 +84,14 @@ def build_workload(
     nframes: int = 20,
     protein_fraction: float = 0.44,
     seed: int = 0,
+    keyframe_interval: int = 100,
 ) -> GpcrWorkload:
     """Build a materialized GPCR-like workload (system + trajectory + files).
 
     Defaults stay laptop-friendly; the paper's class mix and compressibility
-    are preserved at any size.
+    are preserved at any size.  ``keyframe_interval`` sets the encoded
+    stream's GOF size -- streaming-ingest benches lower it so one blob
+    splits into many independently decodable windows.
     """
     system = build_gpcr_system(
         natoms_target=natoms, protein_fraction=protein_fraction, seed=seed
@@ -98,5 +101,5 @@ def build_workload(
         system=system,
         trajectory=trajectory,
         pdb_text=write_pdb(system.topology, system.coords),
-        xtc_blob=encode_xtc(trajectory),
+        xtc_blob=encode_xtc(trajectory, keyframe_interval=keyframe_interval),
     )

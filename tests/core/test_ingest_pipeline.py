@@ -1,0 +1,341 @@
+"""The streaming ingest pipeline: windows, backpressure, byte-identity.
+
+The contract under test: ``ingest_stream`` moves *when* bytes land on the
+backends (CPU/device overlap, bounded write-behind buffering), never
+*which* bytes -- the pipelined schedule stores exactly what the serial
+windowed schedule stores, appends interact safely with concurrent reads,
+and every counter the pipeline reports is registry-backed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ADA, IngestPipelineConfig
+from repro.core.preprocessor import DataPreProcessor
+from repro.errors import ConfigurationError, PermanentFaultError
+from repro.faults import FaultPlan, FaultSpec
+from repro.fs import LocalFS
+from repro.fs.cache import BlockCache
+from repro.sim import AllOf, Simulator
+from repro.storage import DevicePower, DeviceSpec
+from repro.units import GB, KiB, mbps
+from repro.workloads import build_workload
+
+LOGICAL = "stream.xtc"
+
+
+def _fs(sim, name, write_bw_mbps=1000, seek_s=0.0):
+    spec = DeviceSpec(
+        name=name,
+        read_bw=mbps(1000),
+        write_bw=mbps(write_bw_mbps),
+        seek_latency_s=seek_s,
+        capacity=100 * GB,
+        power=DevicePower(active_w=5.0, idle_w=1.0),
+    )
+    return LocalFS(sim, spec, name=name, metadata_latency_s=0.0)
+
+
+def _ada(sim, cache=False, write_bw_mbps=1000, **kw):
+    return ADA(
+        sim,
+        backends={
+            "ssd": _fs(sim, "ssd", write_bw_mbps),
+            "hdd": _fs(sim, "hdd", write_bw_mbps),
+        },
+        block_cache=BlockCache(sim) if cache else None,
+        **kw,
+    )
+
+
+def _digest(ada):
+    return sorted(
+        (name, path, fs.store.data(path))
+        for name, fs in ada.plfs.backends.items()
+        for path in fs.store.walk()
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # 32 frames in 4-frame GOFs -> 8 windows at window_frames=4.
+    return build_workload(natoms=300, nframes=32, seed=3, keyframe_interval=4)
+
+
+# -- windowed pre-processing --------------------------------------------------
+
+
+def test_process_windows_matches_monolithic_split(workload):
+    pre = DataPreProcessor()
+    label_map = pre.analyze_structure(workload.pdb_text)
+    windows = list(pre.process_windows(label_map, workload.xtc_blob, 4))
+    assert [w.index for w in windows] == list(range(8))
+    assert windows[0].start == 0 and windows[-1].stop == 32
+    for prev, cur in zip(windows, windows[1:]):
+        assert cur.start == prev.stop
+    whole = pre.process_chunk(label_map, workload.xtc_blob)
+    assert sum(w.raw_nbytes for w in windows) == whole.raw_nbytes
+    # Decoded frame-for-frame, the windowed split equals the monolithic one.
+    for tag in whole.subsets:
+        parts = [
+            pre.decompressor.decompress(w.subsets[tag]) for w in windows
+        ]
+        coords = np.concatenate([p.coords for p in parts])
+        ref = pre.decompressor.decompress(whole.subsets[tag])
+        assert np.array_equal(coords, ref.coords)
+
+
+def test_windows_are_gof_aligned(workload):
+    pre = DataPreProcessor()
+    label_map = pre.analyze_structure(workload.pdb_text)
+    # window_frames=6 rounds up to whole 4-frame GOFs per window.
+    windows = list(pre.process_windows(label_map, workload.xtc_blob, 6))
+    for window in windows[:-1]:
+        assert window.nframes % 4 == 0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        IngestPipelineConfig(window_frames=0)
+    with pytest.raises(ConfigurationError):
+        IngestPipelineConfig(depth=0)
+    with pytest.raises(ConfigurationError):
+        IngestPipelineConfig(max_buffered_bytes=0)
+
+
+# -- byte-identity ------------------------------------------------------------
+
+
+def test_serial_and_pipelined_stores_identical(workload):
+    stores, indexes = {}, {}
+    for pipelined in (False, True):
+        sim = Simulator()
+        ada = _ada(sim)
+        config = IngestPipelineConfig(window_frames=4, pipelined=pipelined)
+        sim.run_process(
+            ada.ingest_stream(
+                LOGICAL, workload.xtc_blob,
+                pdb_text=workload.pdb_text, config=config,
+            )
+        )
+        stores[pipelined] = _digest(ada)
+        indexes[pipelined] = ada.plfs.container_index(LOGICAL)
+    assert stores[False] == stores[True]
+    assert indexes[False] == indexes[True]
+
+
+def test_receipt_matches_monolithic_ingest(workload):
+    sim = Simulator()
+    ada = _ada(sim)
+    receipt = sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob, pdb_text=workload.pdb_text,
+            config=IngestPipelineConfig(window_frames=4),
+        )
+    )
+    assert receipt.logical == LOGICAL
+    assert receipt.compressed_nbytes == len(workload.xtc_blob)
+    assert receipt.raw_nbytes == workload.trajectory.nbytes
+    for tag, size in receipt.subset_sizes.items():
+        assert size == ada.plfs.subset_nbytes(LOGICAL, tag)
+    merged = sim.run_process(ada.fetch_merged(LOGICAL))
+    # Compare against the *decoded* stream (XTC quantizes coordinates).
+    ref = DataPreProcessor().decompressor.decompress(workload.xtc_blob)
+    assert np.array_equal(merged.coords, ref.coords)
+
+
+# -- backpressure and buffering ----------------------------------------------
+
+
+def test_backpressure_bounds_queue_depth(workload):
+    sim = Simulator()
+    ada = _ada(sim, write_bw_mbps=1)  # slow tier: producer must stall
+    config = IngestPipelineConfig(window_frames=4, depth=2)
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob,
+            pdb_text=workload.pdb_text, config=config,
+        )
+    )
+    stats = ada.stats()["ingest"]
+    assert stats["windows"] == 8
+    assert stats["backpressure_waits"] > 0
+    assert stats["backpressure_seconds"] > 0.0
+    assert stats["queue_depth_peak"] <= 2
+
+
+def test_byte_watermark_bounds_buffered_bytes(workload):
+    sim = Simulator()
+    ada = _ada(sim, write_bw_mbps=1)
+    watermark = 48 * KiB  # > one window, < the whole stream
+    config = IngestPipelineConfig(
+        window_frames=4, depth=8, max_buffered_bytes=watermark
+    )
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob,
+            pdb_text=workload.pdb_text, config=config,
+        )
+    )
+    stats = ada.stats()["ingest"]
+    assert 0 < stats["buffered_bytes_peak"] <= watermark
+
+
+def test_pipelined_overlaps_cpu_with_dispatch(workload):
+    from repro.cluster.node import ComputeNode
+    from repro.harness.calibration import E5_2603V4
+    from repro.storage.power import NodePower
+
+    elapsed = {}
+    for pipelined in (False, True):
+        sim = Simulator()
+        cpu = ComputeNode(
+            sim, "storage0", E5_2603V4, memory_capacity=GB,
+            power=NodePower(idle_w=330.0, cpu_active_w=60.0, io_active_w=10.0),
+        )
+        ada = _ada(sim, storage_cpu=cpu, write_bw_mbps=2)
+        config = IngestPipelineConfig(window_frames=4, pipelined=pipelined)
+        sim.run_process(
+            ada.ingest_stream(
+                LOGICAL, workload.xtc_blob,
+                pdb_text=workload.pdb_text, config=config,
+            )
+        )
+        stats = ada.stats()["ingest"]
+        elapsed[pipelined] = stats["elapsed_seconds"]
+        if pipelined:
+            assert stats["overlap_ratio"] > 0.0
+        else:
+            assert stats["overlap_ratio"] == 0.0
+    assert elapsed[True] < elapsed[False]
+
+
+# -- appends racing reads -----------------------------------------------------
+
+
+def test_stream_append_invalidates_derived_cache(workload):
+    half = workload.trajectory.nframes // 2
+    from repro.formats.xtc import encode_xtc
+
+    first = encode_xtc(
+        workload.trajectory.slice_frames(0, half), keyframe_interval=4
+    )
+    second = encode_xtc(
+        workload.trajectory.slice_frames(half, workload.trajectory.nframes),
+        keyframe_interval=4,
+    )
+    sim = Simulator()
+    ada = _ada(sim, cache=True)
+    config = IngestPipelineConfig(window_frames=4)
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, first, pdb_text=workload.pdb_text, config=config
+        )
+    )
+    # Warm the derived-subset cache entries, then append without a pdb.
+    before = sim.run_process(ada.fetch(LOGICAL, "p"))
+    sim.run_process(ada.ingest_stream(LOGICAL, second, config=config))
+    after = sim.run_process(ada.fetch(LOGICAL, "p"))
+    assert after.nbytes == ada.plfs.subset_nbytes(LOGICAL, "p")
+    assert after.nbytes > before.nbytes
+
+
+def test_stream_append_racing_fetch_merged(workload):
+    """An in-flight merged read and a streaming append interleave safely.
+
+    The read resolves against the index it looked up; the append's cache
+    invalidation must still guarantee the *next* read sees every frame.
+    """
+    half = workload.trajectory.nframes // 2
+    from repro.formats.xtc import encode_xtc
+
+    first = encode_xtc(
+        workload.trajectory.slice_frames(0, half), keyframe_interval=4
+    )
+    second = encode_xtc(
+        workload.trajectory.slice_frames(half, workload.trajectory.nframes),
+        keyframe_interval=4,
+    )
+    sim = Simulator()
+    ada = _ada(sim, cache=True)
+    config = IngestPipelineConfig(window_frames=4)
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, first, pdb_text=workload.pdb_text, config=config
+        )
+    )
+
+    def race():
+        reader = sim.process(ada.fetch_merged(LOGICAL), name="race:read")
+        writer = sim.process(
+            ada.ingest_stream(LOGICAL, second, config=config),
+            name="race:append",
+        )
+        results = yield AllOf(sim, [reader, writer])
+        return results[0]
+
+    mid = sim.run_process(race())
+    # Compare against the decoded stream (XTC quantizes coordinates).
+    decompress = DataPreProcessor().decompressor.decompress
+    ref = np.concatenate(
+        [decompress(first).coords, decompress(second).coords]
+    )
+    # The racing read returned a consistent prefix of the stream.
+    assert np.array_equal(mid.coords, ref[: mid.nframes])
+    # After the append settles, a fresh read sees the whole trajectory --
+    # no stale derived-subset cache entry survives the race.
+    merged = sim.run_process(ada.fetch_merged(LOGICAL))
+    assert np.array_equal(merged.coords, ref)
+
+
+# -- counters and error propagation ------------------------------------------
+
+
+def test_ingest_counters_are_registry_backed(workload):
+    sim = Simulator()
+    # One backend, so each window's tags form one coalescible run (with
+    # tags split across tiers every run is a single chunk and coalescing
+    # correctly stays idle).
+    ada = ADA(sim, backends={"hdd": _fs(sim, "hdd")})
+    config = IngestPipelineConfig(window_frames=4)
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob,
+            pdb_text=workload.pdb_text, config=config,
+        )
+    )
+    stats = ada.stats()
+    # Satellite: dispatched_bytes values are exact ints, not floats.
+    for tag, nbytes in stats["dispatched_bytes_per_tag"].items():
+        assert isinstance(nbytes, int)
+        assert nbytes == ada.plfs.subset_nbytes(LOGICAL, tag)
+        counter = ada.metrics.counter("dispatcher_bytes_total", tag=tag)
+        assert int(counter.value) == nbytes
+    assert int(ada.metrics.counter("ingest_windows_total").value) == 8
+    wcoal = stats["write_coalescing"]
+    assert wcoal["coalesced_runs"] == 8
+    assert wcoal["requests_saved"] >= 8
+    assert (
+        int(ada.metrics.counter("dispatcher_coalesced_runs_total").value) == 8
+    )
+    assert stats["ingest"]["enabled"] and stats["ingest"]["pipelined"]
+
+
+def test_consumer_failure_propagates_without_deadlock(workload):
+    sim = Simulator()
+    ada = _ada(sim)
+    config = IngestPipelineConfig(window_frames=4)
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob,
+            pdb_text=workload.pdb_text, config=config,
+        )
+    )
+    for fs in ada.plfs.backends.values():
+        FaultPlan(
+            seed=5, sites={f"fs:{fs.name}": FaultSpec(permanent_rate=1.0)}
+        ).attach(fs)
+    with pytest.raises(PermanentFaultError):
+        sim.run_process(
+            ada.ingest_stream(LOGICAL, workload.xtc_blob, config=config)
+        )

@@ -54,6 +54,8 @@ def test_ada_stats_schema(driven_ada):
         "cache",
         "prefetch",
         "coalescing",
+        "write_coalescing",
+        "ingest",
         "faults",
     }
     assert stats["datasets"] == ["s.xtc"]
@@ -72,6 +74,18 @@ def test_ada_stats_schema(driven_ada):
     assert all(
         isinstance(coal[k], int)
         for k in ("coalesced_runs", "coalesced_chunks", "requests_saved")
+    )
+    wcoal = stats["write_coalescing"]
+    assert set(wcoal) == {
+        "coalesced_runs", "coalesced_chunks", "requests_saved"
+    }
+    assert all(isinstance(v, int) for v in wcoal.values())
+    # The fixture ingests through the monolithic path, so the streaming
+    # pipeline section reports disabled.
+    assert stats["ingest"] == {"enabled": False}
+    assert all(
+        isinstance(v, int)
+        for v in stats["dispatched_bytes_per_tag"].values()
     )
 
 
