@@ -55,18 +55,29 @@ def test_decode_rate_report(artifact_sink, small_workload):
 
 
 def test_bench_codec_json_baseline(artifact_sink):
-    """Emit BENCH_codec.json and hold the kernel-speedup floor.
+    """Emit BENCH_codec.json (schema v2) and hold every codec floor.
 
-    The vectorized kernels must decode >= 3x faster than the pre-PR
-    bit-matrix kernel (measured on the all-deflate stream that kernel
-    actually produced).  best-of-5 repeats keep scheduler noise out of
-    the recorded baseline.
+    The projected process-backend critical path must clear >= 3x decode /
+    >= 2x encode at 8 workers, every backend x worker combination must be
+    bit-identical to serial, and the vectorized kernels must stay >= 2x
+    over the pre-PR bit-matrix kernel (measured on the all-deflate stream
+    that kernel actually produced).  best-of-5 repeats keep scheduler
+    noise out of the recorded baseline.
     """
-    from repro.harness.benchcodec import render_codec_bench, run_codec_bench
+    from repro.harness.benchcodec import (
+        FLOORS,
+        render_codec_bench,
+        run_codec_bench,
+    )
 
     result = run_codec_bench(repeats=5)
     artifact_sink("BENCH_codec.json", json.dumps(result, indent=2))
     artifact_sink("BENCH_codec.txt", render_codec_bench(result))
-    assert result["schema_version"] == 1
+    assert result["schema_version"] == 2
     assert 2.5 < result["workload"]["compression_ratio"] < 5.0
-    assert result["baseline_ratio"] >= 3.0
+    assert result["bit_identical"] is True
+    assert result["baseline_ratio"] >= FLOORS["baseline_ratio"]
+    speedup = result["parallel_speedup"]
+    assert speedup["decode"] >= FLOORS["decode_parallel_speedup_8w"]
+    assert speedup["encode"] >= FLOORS["encode_parallel_speedup_8w"]
+    assert result["pass"] is True

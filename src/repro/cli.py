@@ -196,10 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
              "JSON record instead of text",
     )
     bench.add_argument("--workers", type=int, default=0,
-                       help="host-side worker threads: GOF codec workers "
+                       help="host-side codec workers: GOF codec workers "
                             "(bench-codec) and the ingest pre-processor's "
                             "persistent pools (bench-ingest); "
                             "0 = one per CPU")
+    bench.add_argument("--codec-backend", default="auto",
+                       choices=["auto", "thread", "process"],
+                       help="codec worker-pool flavour: 'process' escapes "
+                            "the GIL via shared-memory GOF workers, "
+                            "'thread' shares the interpreter, 'auto' picks "
+                            "per host (bench-codec/bench-ingest)")
     bench.add_argument("--natoms", type=int, default=None,
                        help="(bench-codec/bench-ingest) atoms in the "
                             "generated system")
@@ -271,6 +277,9 @@ BENCH_PIPELINE_JSON = pathlib.Path("benchmarks/results/BENCH_pipeline.json")
 #: Canonical location of the bench-ingest JSON record.
 BENCH_INGEST_JSON = pathlib.Path("benchmarks/results/BENCH_ingest.json")
 
+#: Canonical location of the bench-codec JSON record.
+BENCH_CODEC_JSON = pathlib.Path("benchmarks/results/BENCH_codec.json")
+
 
 def _run_bench_ingest(args) -> int:
     from repro.harness.benchingest import (
@@ -289,6 +298,7 @@ def _run_bench_ingest(args) -> int:
         depth=args.depth,
         seed=args.seed if args.seed else 7,
         workers=args.workers,
+        codec_backend=args.codec_backend,
     )
     if args.json:
         path = args.output or BENCH_INGEST_JSON
@@ -417,19 +427,21 @@ def _run_bench_codec(args) -> int:
     try:
         result = run_codec_bench(
             natoms=args.natoms if args.natoms is not None else 8000,
-            nframes=args.nframes if args.nframes is not None else 30,
+            nframes=args.nframes if args.nframes is not None else 384,
             keyframe_interval=(
                 args.keyframe_interval
-                if args.keyframe_interval is not None else 10
+                if args.keyframe_interval is not None else 12
             ),
             workers=args.workers,
             repeats=args.repeats,
+            backend=args.codec_backend,
         )
     except CodecError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        path = args.output or pathlib.Path("BENCH_codec.json")
+        path = args.output or BENCH_CODEC_JSON
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {path}", file=sys.stderr)
     else:
@@ -439,6 +451,9 @@ def _run_bench_codec(args) -> int:
             print(f"wrote {args.output}", file=sys.stderr)
         else:
             print(text)
+    if not result["pass"]:
+        print("repro: bench-codec below its floors", file=sys.stderr)
+        return 1
     return 0
 
 

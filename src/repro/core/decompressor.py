@@ -4,11 +4,14 @@ Wraps the XTC codec for ADA's storage-side use: "the data decompressor
 will be invoked if the original data is compressed" (§3.1).  Pass-through
 for raw containers, so the pre-processor accepts either representation.
 
-Two performance knobs ride along with the codec's hot path:
+Three performance knobs ride along with the codec's hot path:
 
 * ``workers`` -- groups of frames decode concurrently (see
   :func:`repro.formats.xtc.resolve_workers`); results are bit-identical to
   a serial decode, so callers opt in freely.
+* ``codec_backend`` -- ``"thread"``, ``"process"``, or ``"auto"``; the
+  worker-pool flavour (see :mod:`repro.formats.codecexec`).  Process
+  workers escape the GIL and fill a shared-memory coordinate array.
 * a small :class:`~repro.formats.xtc.FrameIndex` cache -- repeated queries
   against the same blob (``frame_count`` then ``raw_nbytes`` then
   ``decompress``, the pre-processor's exact sequence) share one header
@@ -19,11 +22,11 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import CodecError
+from repro.formats.codecexec import CodecPool, resolve_backend
 from repro.formats.dcd import DCD_MAGIC, decode_dcd
 from repro.formats.trajectory import Trajectory
 from repro.formats.trr import TRR_MAGIC, decode_trr
@@ -67,18 +70,26 @@ class Decompressor:
     """Format-sniffing trajectory decoder.
 
     ``workers`` is forwarded to :func:`repro.formats.xtc.decode_xtc` for
-    group-of-frames parallel decode; ``index_cache_size`` bounds how many
-    blobs keep a cached :class:`FrameIndex` (LRU, keyed by blob identity).
+    group-of-frames parallel decode; ``codec_backend`` picks the worker
+    pool flavour (``"thread"``/``"process"``/``"auto"``);
+    ``index_cache_size`` bounds how many blobs keep a cached
+    :class:`FrameIndex` (LRU, keyed by blob identity); ``metrics`` is the
+    registry pool lifecycle lands in (ambient global by default).
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         index_cache_size: int = 8,
+        codec_backend: str = "auto",
+        metrics=None,
     ):
         if index_cache_size < 0:
             raise CodecError("index_cache_size must be >= 0")
+        resolve_backend(codec_backend)  # validate eagerly
         self.workers = workers
+        self.codec_backend = codec_backend
+        self.metrics = metrics
         self.index_cache_size = int(index_cache_size)
         # id(blob) -> (blob, FrameIndex).  Holding the blob keeps the id
         # stable (and the entry is verified by identity before use, so a
@@ -91,9 +102,9 @@ class Decompressor:
         # Persistent codec pool: one pool for the life of the decompressor
         # instead of one per decode call (streaming ingest decodes a window
         # at a time -- per-call pool construction would dominate).
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[CodecPool] = None
 
-    def _pool(self) -> Optional[ThreadPoolExecutor]:
+    def _pool(self) -> Optional[CodecPool]:
         """The lazily-created persistent worker pool (None when serial)."""
         if self.workers is None:
             return None
@@ -101,15 +112,15 @@ class Decompressor:
         if size <= 1:
             return None
         if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=size, thread_name_prefix="decomp"
+            self._executor = CodecPool(
+                size, backend=self.codec_backend, metrics=self.metrics
             )
         return self._executor
 
     def close(self) -> None:
         """Shut down the persistent worker pool (idempotent)."""
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            self._executor.close()
             self._executor = None
 
     def __enter__(self) -> "Decompressor":
@@ -232,7 +243,12 @@ class Decompressor:
                     start=start,
                     stop=stop,
                     trajectory=decode_frame_range(
-                        data, start, stop, index=index
+                        data,
+                        start,
+                        stop,
+                        index=index,
+                        workers=self.workers,
+                        executor=self._pool(),
                     ),
                 )
         else:

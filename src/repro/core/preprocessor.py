@@ -9,12 +9,12 @@ every read, on a compute node, as the traditional workflow does.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.core.categorizer import Categorizer
 from repro.core.decompressor import Decompressor
+from repro.formats.codecexec import CodecPool, resolve_backend
 from repro.core.labeler import LabelMap
 from repro.core.tags import TagPolicy
 from repro.formats.pdb import parse_pdb
@@ -98,40 +98,54 @@ class DataPreProcessor:
         policy: TagPolicy = None,
         subset_format: str = "raw",
         workers: Optional[int] = None,
+        codec_backend: str = "auto",
+        metrics=None,
     ):
         if subset_format not in SUBSET_ENCODERS:
             raise ValueError(
                 f"unknown subset format {subset_format!r}; "
                 f"have {sorted(SUBSET_ENCODERS)}"
             )
+        resolve_backend(codec_backend)  # validate eagerly
         self.policy = policy or TagPolicy.protein_vs_misc()
         self.subset_format = subset_format
         self.workers = workers
+        self.codec_backend = codec_backend
+        self.metrics = metrics
         self.categorizer = Categorizer(self.policy)
-        self.decompressor = Decompressor(workers=workers)
+        self.decompressor = Decompressor(
+            workers=workers, codec_backend=codec_backend, metrics=metrics
+        )
         # Persistent encode pool: streaming ingestion calls ``_divide``
         # once per appended chunk/window, so constructing (and tearing
-        # down) a ThreadPoolExecutor per call would churn threads on the
-        # hot path.  Created lazily on the first parallel divide.
-        self._executor: Optional[ThreadPoolExecutor] = None
+        # down) a worker pool per call would churn on the hot path.
+        # Created lazily on the first parallel divide.  Always
+        # thread-backed: the per-tag fan-out runs unpicklable closures
+        # over shared split arrays; the process backend parallelizes
+        # *inside* each xtc encode instead (GOF shared-memory workers).
+        self._executor: Optional[CodecPool] = None
 
-    def _pool(self) -> Optional[ThreadPoolExecutor]:
-        """The lazily-created persistent encode pool (None when serial)."""
+    def _pool_size(self) -> int:
         if self.workers is None:
-            return None
+            return 1
         size = os.cpu_count() or 1 if self.workers == 0 else int(self.workers)
+        return max(1, size)
+
+    def _pool(self) -> Optional[CodecPool]:
+        """The lazily-created persistent encode pool (None when serial)."""
+        size = self._pool_size()
         if size <= 1:
             return None
         if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=size, thread_name_prefix="preproc"
+            self._executor = CodecPool(
+                size, backend="thread", metrics=self.metrics
             )
         return self._executor
 
     def close(self) -> None:
         """Shut down the persistent pools (idempotent)."""
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            self._executor.close()
             self._executor = None
         self.decompressor.close()
 
@@ -202,11 +216,22 @@ class DataPreProcessor:
         """Categorize + encode one trajectory (or window) into subset blobs."""
         encoder = SUBSET_ENCODERS[self.subset_format]
         split = self.categorizer.split(trajectory, label_map)
+        if self.subset_format == "xtc" and self._pool_size() > 1:
+            # Parallelize inside each compressed encode (GOF fan-out on
+            # the configured backend) rather than across tags: subset
+            # sizes are wildly uneven, so per-GOF work units balance far
+            # better than per-tag ones.
+            return {
+                tag: encoder(
+                    sub, workers=self.workers, backend=self.codec_backend
+                )
+                for tag, sub in split.items()
+            }
         nworkers = resolve_workers(self.workers, len(split))
         pool = self._pool() if nworkers > 1 else None
         if pool is not None:
             tags = list(split)
-            blobs = list(pool.map(lambda t: encoder(split[t]), tags))
+            blobs = pool.run(lambda t: encoder(split[t]), [(t,) for t in tags])
             return dict(zip(tags, blobs))
         return {tag: encoder(sub) for tag, sub in split.items()}
 

@@ -28,12 +28,21 @@ Performance model (the materialized-mode hot path):
 * the bit-packing kernels are **word-oriented**: values are shifted/OR-ed
   into 64-bit lanes in one numpy pass per equal-width run of blocks, not
   expanded into a per-bit matrix;
+* the delta/zigzag/quantize stages run as **whole-GOF batch operations**:
+  encode quantizes a GOF's frames in one pass and takes every P-frame's
+  temporal deltas with a single ``np.diff`` along the frame axis; decode
+  collects all delta rows of a GOF into one int64 matrix, reconstructs
+  with a single axis-0 ``np.cumsum``, and converts kept frames with one
+  reciprocal multiply -- so per-frame Python overhead disappears and each
+  task spends its time inside GIL-releasing C loops;
 * keyframes every ``keyframe_interval`` partition a stream into
   independently codable **groups of frames** (GOFs); ``encode_xtc`` /
-  ``decode_xtc`` accept ``workers=N`` and fan GOFs out to a thread pool
-  (zlib releases the GIL, so threads scale).  Parallel output is
-  bit-identical to serial because each GOF is self-contained and results
-  are reassembled in stream order;
+  ``decode_xtc`` accept ``workers=N`` and fan GOFs out to a worker pool
+  selected by ``backend`` (``"thread"``, ``"process"``, or ``"auto"`` --
+  see :mod:`repro.formats.codecexec`; process workers exchange
+  coordinates through shared memory and deliver real multi-core
+  speedup).  Parallel output is bit-identical to serial because each GOF
+  is self-contained and results are reassembled in stream order;
 * a :class:`FrameIndex` captures one header scan (offsets, keyframe
   anchors, cumulative raw bytes) and makes every subsequent
   :func:`decode_frame_range` / frame-count / size query O(1) in the number
@@ -47,13 +56,19 @@ import operator
 import os
 import struct
 import zlib
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import CodecError
+from repro.formats.codecexec import (
+    CodecPool,
+    process_decode,
+    process_encode,
+    resolve_backend,
+    shared_pool,
+)
 from repro.formats.trajectory import BYTES_PER_COORD, Trajectory
 
 __all__ = [
@@ -438,7 +453,15 @@ def _encode_delta_block(
     deflate stage -- used for I-frames so every group of frames keeps a
     zlib-checksummed anchor that rejects corrupted streams.
     """
-    flat = _zigzag(deltas.ravel())
+    return _encode_zigzag_block(_zigzag(deltas.ravel()), level, allow_stored)
+
+
+def _encode_zigzag_block(
+    flat: np.ndarray, level: int, allow_stored: bool = True
+) -> "tuple[int, bytes]":
+    """Entropy-code already-zigzagged uint64 values (see
+    :func:`_encode_delta_block`); batched encoders zigzag a whole GOF in
+    one pass and feed each frame's row here."""
     nvalues = flat.size
     nblocks = (nvalues + _BLOCK_VALUES - 1) // _BLOCK_VALUES
     if nblocks:
@@ -460,8 +483,18 @@ def _encode_delta_block(
 
 
 def _decode_delta_block(
-    payload: bytes, expected_count: int, stored: bool = False
+    payload: bytes,
+    expected_count: int,
+    stored: bool = False,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
+    """Decode one entropy-coded delta block to int64 values.
+
+    ``out``, when given, is an ``expected_count``-long uint64 buffer the
+    unpacked values land in directly (it is un-zigzagged in place and the
+    int64 view of it returned) -- batched GOF decode passes rows of its
+    frame matrix here to skip a per-frame staging copy.
+    """
     if stored:
         if len(payload) < _STORED_CRC.size:
             raise CodecError("stored payload shorter than its checksum")
@@ -487,7 +520,8 @@ def _decode_delta_block(
         raise CodecError("truncated block-width table")
     offset += nblocks
     mv = memoryview(raw)  # slice payload chunks without copying
-    out = np.empty(count, dtype=np.uint64)
+    if out is None:
+        out = np.empty(count, dtype=np.uint64)
     for b, e in _width_runs(widths):
         nbits = widths[b]
         run_count = min(e * _BLOCK_VALUES, count) - b * _BLOCK_VALUES
@@ -527,6 +561,36 @@ def _encode_frame_payload(
     return _FLAG_PFRAME | sflag, block
 
 
+def _decode_iframe_ints(
+    payload: bytes, natoms: int, stored: bool, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Decode an I-frame payload to its absolute quantized ints.
+
+    ``out``, when given, is a flat ``natoms * 3`` int64 row (batched GOF
+    decode passes rows of its frame matrix); returns the ``(natoms, 3)``
+    view either way.
+    """
+    prefix = 12 + _STORED_CRC.size
+    if len(payload) < prefix:
+        raise CodecError("I-frame payload missing origin")
+    (origin_crc,) = _STORED_CRC.unpack_from(payload, 12)
+    if zlib.crc32(bytes(payload[:12])) != origin_crc:
+        raise CodecError("I-frame origin checksum mismatch")
+    origin = np.frombuffer(payload, dtype="<i4", count=3).astype(np.int64)
+    deltas = _decode_delta_block(
+        payload[prefix:], (natoms - 1) * 3, stored
+    ).reshape(natoms - 1, 3)
+    ints = (
+        np.empty((natoms, 3), dtype=np.int64)
+        if out is None
+        else out.reshape(natoms, 3)
+    )
+    ints[0] = origin
+    np.cumsum(deltas, axis=0, dtype=np.int64, out=ints[1:])
+    ints[1:] += origin
+    return ints
+
+
 def _decode_frame_payload(
     payload: bytes,
     natoms: int,
@@ -538,7 +602,9 @@ def _decode_frame_payload(
     """Decode one frame; returns ``(coords_float32, quantized_ints)``.
 
     ``out`` (a ``(natoms, 3)`` float32 view) receives the coordinates
-    without an intermediate allocation when provided.
+    without an intermediate allocation when provided.  The hot path
+    (:func:`_decode_run`) batches whole GOFs instead; this single-frame
+    entry point remains for targeted decodes and tests.
     """
     stored = bool(flags & _FLAG_STORED)
     if flags & _FLAG_PFRAME:
@@ -550,20 +616,7 @@ def _decode_frame_payload(
         np.add(deltas, prev_ints, out=deltas)  # deltas buffer is ours
         ints = deltas
     else:
-        prefix = 12 + _STORED_CRC.size
-        if len(payload) < prefix:
-            raise CodecError("I-frame payload missing origin")
-        (origin_crc,) = _STORED_CRC.unpack_from(payload, 12)
-        if zlib.crc32(bytes(payload[:12])) != origin_crc:
-            raise CodecError("I-frame origin checksum mismatch")
-        origin = np.frombuffer(payload, dtype="<i4", count=3).astype(np.int64)
-        deltas = _decode_delta_block(
-            payload[prefix:], (natoms - 1) * 3, stored
-        ).reshape(natoms - 1, 3)
-        ints = np.empty((natoms, 3), dtype=np.int64)
-        ints[0] = origin
-        np.cumsum(deltas, axis=0, dtype=np.int64, out=ints[1:])
-        ints[1:] += origin
+        ints = _decode_iframe_ints(payload, natoms, stored)
     if out is None:
         out = np.empty((natoms, 3), dtype=np.float32)
     # Multiply by the float64 reciprocal instead of dividing: the float64
@@ -600,19 +653,26 @@ def _encode_gof(
     level: int,
     box9: Tuple[float, ...],
 ) -> bytes:
-    """Encode one group of frames; ``start`` becomes an I-frame."""
+    """Encode one group of frames; ``start`` becomes an I-frame.
+
+    Whole-GOF batch kernels: one quantize pass over the frame block, one
+    ``np.diff`` along the frame axis for every P-frame's temporal deltas,
+    one zigzag pass over all of them -- the only per-frame work left is
+    the entropy stage (width scan, bit-pack, deflate), which runs inside
+    GIL-releasing C loops.  Transient int64 state is one GOF's deltas,
+    bounded by ``keyframe_interval``.
+    """
+    nframes = stop - start
+    block = _quantize(trajectory.coords[start:stop], precision)
     chunks: List[bytes] = []
-    prev_ints: Optional[np.ndarray] = None
-    for i in range(start, stop):
-        ints = _quantize(trajectory.coords[i], precision)
-        flags, payload = _encode_frame_payload(ints, prev_ints, level)
-        prev_ints = ints.astype(np.int64)
+
+    def emit(i: int, flags: int, payload: bytes) -> None:
         chunks.append(
             _HEADER.pack(
                 XTC_MAGIC,
                 trajectory.natoms,
-                int(trajectory.steps[i]),
-                float(trajectory.times_ps[i]),
+                int(trajectory.steps[start + i]),
+                float(trajectory.times_ps[start + i]),
                 *box9,
                 float(precision),
                 flags,
@@ -620,7 +680,30 @@ def _encode_gof(
             )
         )
         chunks.append(payload)
+
+    flags, payload = _encode_frame_payload(block[0], None, level)
+    emit(0, flags, payload)
+    if nframes > 1:
+        zz = _zigzag(
+            np.diff(block.reshape(nframes, -1).astype(np.int64), axis=0)
+        )
+        for i in range(1, nframes):
+            sflag, payload = _encode_zigzag_block(zz[i - 1], level)
+            emit(i, _FLAG_PFRAME | sflag, payload)
     return b"".join(chunks)
+
+
+def _resolve_pool(executor, backend: str, nworkers: int):
+    """Pick the :class:`CodecPool` serving a codec call (None => caller
+    runs serial or drives a raw executor it supplied itself)."""
+    resolve_backend(backend)  # validate the knob even on serial paths
+    if executor is not None:
+        return executor if isinstance(executor, CodecPool) else None
+    if nworkers <= 1:
+        return None
+    # No owning pool supplied: reuse the process-lifetime shared pool
+    # instead of constructing (and tearing down) a transient one per call.
+    return shared_pool(backend, nworkers)
 
 
 def encode_xtc(
@@ -629,7 +712,8 @@ def encode_xtc(
     level: int = 6,
     keyframe_interval: int = 100,
     workers: Optional[int] = None,
-    executor: Optional[ThreadPoolExecutor] = None,
+    executor=None,
+    backend: str = "auto",
 ) -> bytes:
     """Serialize a trajectory to an XTC-like compressed byte stream.
 
@@ -638,11 +722,14 @@ def encode_xtc(
     :func:`decode_frame_range` must rewind for random access.  Because each
     group of frames (keyframe to keyframe) is encoded against only its own
     frames, GOFs are embarrassingly parallel: ``workers`` (see
-    :func:`resolve_workers`) fans them out to a thread pool and the
-    concatenated result is bit-identical to a serial encode.  ``executor``
-    supplies a long-lived pool (callers encoding many blobs avoid the
-    construct/teardown churn of a per-call pool); without one a transient
-    pool is used.
+    :func:`resolve_workers`) fans them out to the ``backend`` worker pool
+    (``"thread"``, ``"process"``, or ``"auto"``; process workers read
+    coordinates from a shared-memory segment) and the concatenated result
+    is bit-identical to a serial encode.  ``executor`` supplies a caller's
+    long-lived :class:`~repro.formats.codecexec.CodecPool` (or a plain
+    executor with ``.map``); without one the process-lifetime shared pool
+    of ``backend`` is reused -- bare calls no longer pay per-call pool
+    construction.
     """
     if precision <= 0:
         raise CodecError(f"precision must be positive, got {precision}")
@@ -662,6 +749,11 @@ def encode_xtc(
         for s in range(0, nframes, keyframe_interval)
     ]
     nworkers = resolve_workers(workers, len(spans))
+    pool = _resolve_pool(executor, backend, nworkers)
+    if pool is not None and pool.backend == "process" and nworkers > 1:
+        return process_encode(
+            trajectory, spans, precision, level, box9, pool, nworkers
+        )
     if nworkers <= 1:
         parts = [
             _encode_gof(trajectory, s, e, precision, level, box9) for s, e in spans
@@ -670,11 +762,10 @@ def encode_xtc(
         encode = lambda span: _encode_gof(  # noqa: E731
             trajectory, span[0], span[1], precision, level, box9
         )
-        if executor is not None:
-            parts = list(executor.map(encode, spans))
+        if pool is not None:
+            parts = pool.run(encode, [(span,) for span in spans])
         else:
-            with ThreadPoolExecutor(max_workers=nworkers) as pool:
-                parts = list(pool.map(encode, spans))
+            parts = list(executor.map(encode, spans))
     return b"".join(parts)
 
 
@@ -791,6 +882,63 @@ def _header_box(data: bytes, offset: int) -> Optional[np.ndarray]:
     return box_vals.reshape(3, 3) if np.any(box_vals) else None
 
 
+def _decode_gof_ints(
+    view: memoryview, infos: Sequence[XtcFrameInfo], natoms: int
+) -> np.ndarray:
+    """Decode one keyframe-anchored group of frames to absolute quantized
+    ints, shape ``(nframes, natoms, 3)``.
+
+    Batched kernel: every frame's entropy stage unpacks straight into one
+    row of a ``(nframes, natoms * 3)`` int64 matrix, then a single
+    ``np.cumsum`` along the frame axis resolves all temporal P-frame deltas
+    at once.  Equivalent to the per-frame ``prev + delta`` chain (int64
+    addition is associative and overflow-free at these magnitudes) but the
+    Python-level loop only touches the entropy stage.
+    """
+    nframes = len(infos)
+    ints = np.empty((nframes, natoms * 3), dtype=np.int64)
+    udat = ints.view(np.uint64)
+    for pos, info in enumerate(infos):
+        if info.precision <= 0:
+            raise CodecError(f"bad precision {info.precision} in frame {info.index}")
+        begin = info.offset + info.header_nbytes
+        payload = view[begin : begin + info.payload_nbytes]
+        stored = bool(info.flags & _FLAG_STORED)
+        if pos == 0:
+            if info.flags & _FLAG_PFRAME:
+                raise CodecError("P-frame encountered with no reference frame")
+            _decode_iframe_ints(payload, natoms, stored, out=ints[0])
+        else:
+            if not info.flags & _FLAG_PFRAME:
+                raise CodecError(
+                    f"I-frame {info.index} inside a group of frames"
+                )
+            _decode_delta_block(payload, natoms * 3, stored, out=udat[pos])
+    # Row-wise prefix sum: each add streams two contiguous rows, where
+    # ``np.cumsum(axis=0)`` would walk columns with frame-sized strides.
+    for pos in range(1, nframes):
+        np.add(ints[pos], ints[pos - 1], out=ints[pos])
+    return ints.reshape(nframes, natoms, 3)
+
+
+def _ints_to_coords(
+    ints: np.ndarray, infos: Sequence[XtcFrameInfo], out: np.ndarray
+) -> None:
+    """Dequantize a block of frames into float32 ``out``.
+
+    Multiply by the float64 reciprocal instead of dividing (see
+    :func:`_decode_frame_payload`); a single vectorized multiply when every
+    frame shares one precision (the encoder always emits that), with a
+    per-frame fallback for hand-crafted/fuzzed streams that disagree.
+    """
+    p0 = infos[0].precision
+    if all(i.precision == p0 for i in infos):
+        np.multiply(ints, 1.0 / p0, out=out, casting="unsafe")
+        return
+    for pos, info in enumerate(infos):
+        np.multiply(ints[pos], 1.0 / info.precision, out=out[pos], casting="unsafe")
+
+
 def _decode_run(
     data: bytes,
     infos: Sequence[XtcFrameInfo],
@@ -802,28 +950,31 @@ def _decode_run(
 
     ``out`` is a ``(len(infos) - keep_from, natoms_kept, 3)`` float32 array
     (or view); frames before ``keep_from`` are decoded for prediction state
-    but not materialized.  Whole frames decode straight into their output
-    slot -- no per-frame allocation, no final ``np.stack`` copy -- which also
-    lets parallel GOF workers fill disjoint slices of one shared array.
+    but not materialized.  Each group of frames decodes through the batched
+    :func:`_decode_gof_ints` kernel and dequantizes straight into its output
+    slice -- no per-frame allocation, no final ``np.stack`` copy -- which
+    also lets parallel GOF workers fill disjoint slices of one shared array.
     """
     view = memoryview(data)  # per-frame payload slices stay zero-copy
-    prev_ints: Optional[np.ndarray] = None
-    for pos, info in enumerate(infos):
-        if info.precision <= 0:
-            raise CodecError(f"bad precision {info.precision} in frame {info.index}")
-        begin = info.offset + info.header_nbytes
-        kept = pos >= keep_from
-        slot = out[pos - keep_from] if kept and atom_indices is None else None
-        frame, prev_ints = _decode_frame_payload(
-            view[begin : begin + info.payload_nbytes],
-            info.natoms,
-            info.precision,
-            info.flags,
-            prev_ints,
-            out=slot,
-        )
-        if kept and atom_indices is not None:
-            out[pos - keep_from] = frame[atom_indices]
+    natoms = infos[0].natoms if infos else 0
+    n = len(infos)
+    pos = 0
+    while pos < n:
+        end = pos + 1
+        while end < n and infos[end].flags & _FLAG_PFRAME:
+            end += 1
+        ints = _decode_gof_ints(view, infos[pos:end], natoms)
+        lo = max(keep_from - pos, 0)
+        if pos + lo < end:
+            kept = ints[lo:]
+            if atom_indices is not None:
+                # Select quantized ints *before* the float conversion --
+                # identical values to selecting floats after, with the
+                # multiply running only over kept atoms.
+                kept = kept[:, atom_indices]
+            dst = out[pos + lo - keep_from : end - keep_from]
+            _ints_to_coords(kept, infos[pos + lo : end], dst)
+        pos = end
 
 
 def decode_xtc(
@@ -831,7 +982,8 @@ def decode_xtc(
     atom_indices: Optional[np.ndarray] = None,
     workers: Optional[int] = None,
     index: Optional[FrameIndex] = None,
-    executor: Optional[ThreadPoolExecutor] = None,
+    executor=None,
+    backend: str = "auto",
 ) -> Trajectory:
     """Decompress an XTC stream into a :class:`Trajectory`.
 
@@ -841,34 +993,40 @@ def decode_xtc(
     discarded atoms.
 
     ``workers`` (see :func:`resolve_workers`) decodes independent groups of
-    frames concurrently; results are reassembled in stream order, so the
-    output is bit-identical to a serial decode.  ``index`` reuses an
-    existing :class:`FrameIndex` instead of rescanning headers; ``executor``
-    reuses a long-lived thread pool instead of constructing one per call
-    (the :class:`~repro.core.decompressor.Decompressor` holds one for its
-    streaming-ingest windows).
+    frames concurrently on the ``backend`` worker pool (``"thread"``,
+    ``"process"``, or ``"auto"``; process workers fill disjoint slices of a
+    shared-memory coordinate array, returned zero-copy); results are
+    reassembled in stream order, so the output is bit-identical to a serial
+    decode.  ``index`` reuses an existing :class:`FrameIndex` instead of
+    rescanning headers; ``executor`` reuses a caller's long-lived
+    :class:`~repro.formats.codecexec.CodecPool` (the
+    :class:`~repro.core.decompressor.Decompressor` holds one for its read
+    path); without one the process-lifetime shared pool is reused.
     """
     idx = index if index is not None else FrameIndex.build(data)
     infos = idx.infos
     selection = np.asarray(atom_indices) if atom_indices is not None else None
-    natoms_kept = idx.natoms if selection is None else len(selection)
-    coords = np.empty((len(infos), natoms_kept, 3), dtype=np.float32)
     gofs = idx.gofs()
     nworkers = resolve_workers(workers, len(gofs))
-    if nworkers <= 1:
-        _decode_run(data, infos, coords, atom_indices=selection)
+    pool = _resolve_pool(executor, backend, nworkers)
+    if pool is not None and pool.backend == "process" and nworkers > 1:
+        coords = process_decode(data, infos, gofs, selection, pool, nworkers)
     else:
-        decode = lambda span: _decode_run(  # noqa: E731
-            data,
-            infos[span[0] : span[1]],
-            coords[span[0] : span[1]],
-            atom_indices=selection,
-        )
-        if executor is not None:
-            list(executor.map(decode, gofs))
+        natoms_kept = idx.natoms if selection is None else len(selection)
+        coords = np.empty((len(infos), natoms_kept, 3), dtype=np.float32)
+        if nworkers <= 1:
+            _decode_run(data, infos, coords, atom_indices=selection)
         else:
-            with ThreadPoolExecutor(max_workers=nworkers) as pool:
-                list(pool.map(decode, gofs))
+            decode = lambda span: _decode_run(  # noqa: E731
+                data,
+                infos[span[0] : span[1]],
+                coords[span[0] : span[1]],
+                atom_indices=selection,
+            )
+            if pool is not None:
+                pool.run(decode, [(span,) for span in gofs])
+            else:
+                list(executor.map(decode, gofs))
     return Trajectory(
         coords=coords,
         steps=[i.step for i in infos],
@@ -878,7 +1036,13 @@ def decode_xtc(
 
 
 def decode_frame_range(
-    data: bytes, start: int, stop: int, index: Optional[FrameIndex] = None
+    data: bytes,
+    start: int,
+    stop: int,
+    index: Optional[FrameIndex] = None,
+    workers: Optional[int] = None,
+    executor=None,
+    backend: str = "auto",
 ) -> Trajectory:
     """Decode only frames ``[start, stop)`` of an XTC stream.
 
@@ -888,7 +1052,8 @@ def decode_frame_range(
     streaming playback layer uses to animate trajectories that do not fit
     in memory.  Passing ``index`` (a prebuilt :class:`FrameIndex`) skips the
     per-call header scan, making windowed playback O(window) instead of
-    O(file) per window.
+    O(file) per window.  ``workers``/``executor``/``backend`` fan the
+    window's groups of frames out exactly as in :func:`decode_xtc`.
     """
     try:
         start = operator.index(start)
@@ -903,8 +1068,37 @@ def decode_frame_range(
         )
     anchor = idx.anchor(start)
     infos = idx.infos[anchor:stop]
-    coords = np.empty((stop - start, idx.natoms, 3), dtype=np.float32)
-    _decode_run(data, infos, coords, keep_from=start - anchor)
+    keep_from = start - anchor
+    # Groups of frames overlapping the window, relative to the anchor.
+    rel = [
+        (s - anchor, min(e, stop) - anchor)
+        for s, e in idx.gofs()
+        if s < stop and e > anchor
+    ]
+    nworkers = resolve_workers(workers, len(rel))
+    pool = _resolve_pool(executor, backend, nworkers)
+    if pool is not None and pool.backend == "process" and nworkers > 1:
+        coords = process_decode(
+            data, infos, rel, None, pool, nworkers, keep_from=keep_from
+        )
+    else:
+        coords = np.empty((stop - start, idx.natoms, 3), dtype=np.float32)
+        if nworkers <= 1 or pool is None:
+            _decode_run(data, infos, coords, keep_from=keep_from)
+        else:
+
+            def decode(span):
+                f_lo, f_hi = span
+                skip = max(keep_from - f_lo, 0)
+                row0 = max(f_lo, keep_from) - keep_from
+                _decode_run(
+                    data,
+                    infos[f_lo:f_hi],
+                    coords[row0 : row0 + (f_hi - f_lo - skip)],
+                    keep_from=skip,
+                )
+
+            pool.run(decode, [(span,) for span in rel])
     kept = idx.infos[start:stop]
     return Trajectory(
         coords=coords,

@@ -58,7 +58,10 @@ BUFFER_WATERMARK = 2 * MiB
 
 
 def _build_ada(
-    sim: Simulator, config: IngestPipelineConfig, workers: Optional[int]
+    sim: Simulator,
+    config: IngestPipelineConfig,
+    workers: Optional[int],
+    codec_backend: str = "auto",
 ) -> ADA:
     """Single rotating-disk deployment with one storage-side CPU.
 
@@ -75,6 +78,7 @@ def _build_ada(
         backends={"hdd": LocalFS(sim, WD_1TB_HDD, name="hdd")},
         storage_cpu=cpu,
         workers=workers,
+        codec_backend=codec_backend,
         ingest_config=config,
     )
 
@@ -103,6 +107,7 @@ def _scenario(
     depth: int,
     workload,
     workers: Optional[int],
+    codec_backend: str = "auto",
 ) -> Dict[str, object]:
     config = IngestPipelineConfig(
         window_frames=window_frames,
@@ -112,7 +117,7 @@ def _scenario(
         pipelined=pipelined,
     )
     sim = Simulator()
-    ada = _build_ada(sim, config, workers)
+    ada = _build_ada(sim, config, workers, codec_backend)
     started = sim.now
     sim.run_process(
         ada.ingest_stream(
@@ -145,12 +150,14 @@ def run_ingest_bench(
     depth: int = 4,
     seed: int = 7,
     workers: Optional[int] = None,
+    codec_backend: str = "auto",
 ) -> dict:
     """Measure the three write-path scenarios; returns the JSON record.
 
     ``workers`` sizes every scenario's pre-processor pools identically
-    (the >= 2x gate compares equal worker counts); it affects host wall
-    time only -- simulated timings and stored bytes are worker-invariant.
+    (the >= 2x gate compares equal worker counts) and ``codec_backend``
+    picks their flavour; both affect host wall time only -- simulated
+    timings and stored bytes are worker- and backend-invariant.
     """
     workload = build_workload(
         natoms=natoms, nframes=nframes, seed=seed,
@@ -159,13 +166,16 @@ def run_ingest_bench(
 
     runs = {
         "serial": _scenario(
-            False, False, window_frames, depth, workload, workers
+            False, False, window_frames, depth, workload, workers,
+            codec_backend,
         ),
         "pipelined_uncoalesced": _scenario(
-            True, False, window_frames, depth, workload, workers
+            True, False, window_frames, depth, workload, workers,
+            codec_backend,
         ),
         "pipelined": _scenario(
-            True, True, window_frames, depth, workload, workers
+            True, True, window_frames, depth, workload, workers,
+            codec_backend,
         ),
     }
     scenarios = {name: run["record"] for name, run in runs.items()}

@@ -28,6 +28,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, Optional
 
 from repro.errors import CodecError
+from repro.formats.codecexec import resolve_backend
 from repro.formats.trajectory import BYTES_PER_COORD, Frame, Trajectory
 from repro.formats.xtc import FrameIndex, decode_frame_range
 
@@ -45,7 +46,10 @@ class StreamingTrajectory:
     ``prefetch`` enables adaptive window readahead (see module docstring);
     ``pressure_fn`` optionally reports external memory pressure in
     ``[0, 1]`` -- speculation is suppressed at or above
-    ``pressure_watermark``.
+    ``pressure_watermark``.  ``workers``/``codec_backend`` fan each
+    window's groups of frames out across a codec pool (see
+    :func:`~repro.formats.xtc.decode_frame_range`) -- bit-identical to
+    serial window decodes.
     """
 
     def __init__(
@@ -57,9 +61,14 @@ class StreamingTrajectory:
         prefetch: bool = False,
         pressure_fn: Optional[Callable[[], float]] = None,
         pressure_watermark: float = 0.85,
+        workers: Optional[int] = None,
+        codec_backend: str = "auto",
     ):
         if window_frames < 1 or max_windows < 1:
             raise CodecError("window_frames and max_windows must be >= 1")
+        resolve_backend(codec_backend)  # validate eagerly
+        self.workers = workers
+        self.codec_backend = codec_backend
         self._data = xtc_bytes
         self.index = index if index is not None else FrameIndex.build(xtc_bytes)
         self._nframes = self.index.nframes
@@ -150,7 +159,14 @@ class StreamingTrajectory:
     def _decode_window(self, window_id: int) -> Trajectory:
         start = window_id * self.window_frames
         stop = min(start + self.window_frames, self._nframes)
-        return decode_frame_range(self._data, start, stop, index=self.index)
+        return decode_frame_range(
+            self._data,
+            start,
+            stop,
+            index=self.index,
+            workers=self.workers,
+            backend=self.codec_backend,
+        )
 
     def _install(self, window_id: int, window: Trajectory) -> None:
         self._windows[window_id] = window

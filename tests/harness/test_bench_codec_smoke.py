@@ -1,0 +1,82 @@
+"""Bench-marked smoke for the codec benchmark harness.
+
+Marked ``bench`` so CI can run ``pytest -m bench`` as a fast gate.  A
+moderate workload (12 GOFs, ~2 MB raw) keeps wall time in seconds while
+still exercising the full v2 pipeline: both executor backends, the
+worker sweep, the projection model, and the embedded metrics snapshot.
+Absolute floor values are asserted only by ``benchmarks/bench_codec.py``
+at full size; here we check the *shape* of the result -- parallelism
+must help on the projected critical path, identity must hold, and no
+shared-memory segment may leak.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness.benchcodec import WORKER_SWEEP, run_codec_bench
+
+_SMOKE = dict(natoms=2000, nframes=96, keyframe_interval=8, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_codec_bench(**_SMOKE)
+
+
+@pytest.mark.bench
+def test_bench_codec_smoke_schema_and_identity(smoke_result):
+    assert smoke_result["schema_version"] == 2
+    assert smoke_result["workload"]["gofs"] == 12
+    assert smoke_result["bit_identical"] is True
+    assert set(smoke_result["sweep"]) == {"thread", "process"}
+
+
+@pytest.mark.bench
+def test_bench_codec_smoke_projection_scales(smoke_result):
+    """More workers must shorten the projected critical path."""
+    projected = smoke_result["projected_speedup"]
+    for column in (projected["decode"], projected["encode"]):
+        assert column[str(max(WORKER_SWEEP))] > column["1"]
+    # With 12 GOFs over 8 workers the projected decode path should beat
+    # serial comfortably even before the full-size floors apply.
+    assert projected["decode"][str(max(WORKER_SWEEP))] > 1.2
+
+
+@pytest.mark.bench
+def test_bench_codec_smoke_pools_and_segments_accounted(smoke_result):
+    by_name = {
+        f["name"]: f for f in smoke_result["metrics"]["families"]
+    }
+    spawns = sum(
+        s["value"] for s in by_name["codec_pool_spawns_total"]["metrics"]
+    )
+    closes = sum(
+        s["value"] for s in by_name["codec_pool_closes_total"]["metrics"]
+    )
+    assert spawns >= 2  # probe pool + at least one sweep pool
+    assert closes >= spawns  # every spawn (incl. respawns) was closed
+    assert all(
+        s["value"] == 0 for s in by_name["codec_shm_active"]["metrics"]
+    )
+
+
+@pytest.mark.bench
+def test_cli_bench_codec_writes_canonical_artifact(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        [
+            "bench-codec", "--json",
+            "--natoms", "600", "--nframes", "12",
+            "--keyframe-interval", "4", "--repeats", "1",
+        ]
+    )
+    # Floors legitimately fail at this size; the artifact must land
+    # under benchmarks/results/ either way.
+    assert code in (0, 1)
+    canonical = tmp_path / "benchmarks" / "results" / "BENCH_codec.json"
+    assert canonical.exists()
+    record = json.loads(canonical.read_text())
+    assert record["schema_version"] == 2
+    assert record["bit_identical"] is True
