@@ -1,0 +1,36 @@
+"""Multi-tenant serving benchmark: fairness and tail latency gates.
+
+Drives eight closed-loop tenants (plus an open-loop Poisson scenario)
+through the :class:`~repro.serve.ServeFront` over one shared cached
+deployment, and records the canonical
+``benchmarks/results/BENCH_serve.json``.
+Durations are simulated seconds, so the floors (Jain fairness >= 0.9
+over per-tenant served bytes, contended p99 within 8x the uncontended
+baseline) hold deterministically.
+"""
+
+import json
+
+from repro.harness.benchserve import (
+    FLOORS,
+    render_serve_bench,
+    run_serve_bench,
+)
+
+
+def test_bench_serve_json_floors(artifact_sink):
+    """Emit BENCH_serve.json and hold the fairness/latency floors."""
+    result = run_serve_bench()
+    artifact_sink("BENCH_serve.json", json.dumps(result, indent=2))
+    artifact_sink("BENCH_serve.txt", render_serve_bench(result))
+    assert result["schema_version"] == 1
+    assert result["all_completed"], "contended run dropped requests"
+    assert result["fairness"]["jain_contended"] >= FLOORS["jain_fairness"]
+    assert (
+        result["latency"]["p99_slowdown_vs_solo"]
+        <= FLOORS["p99_slowdown_vs_solo"]
+    )
+    # Admission control is load-bearing: the open loop overruns the
+    # per-tenant in-flight cap and the gate actually rejects work.
+    assert result["scenarios"]["open_loop"]["rejected"] > 0
+    assert result["pass"]

@@ -177,8 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=sorted(GENERATORS)
-        + ["all", "bench-codec", "bench-ingest", "bench-pipeline", "chaos",
-           "metrics", "trace", "list"],
+        + ["all", "bench-codec", "bench-ingest", "bench-pipeline",
+           "bench-serve", "chaos", "metrics", "trace", "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -228,6 +228,18 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--depth", type=int, default=4,
                         help="(bench-ingest) write-behind queue depth "
                              "in windows")
+    serve = parser.add_argument_group("bench-serve options")
+    serve.add_argument("--tenants", type=int, default=8,
+                       help="(bench-serve) concurrent tenant sessions")
+    serve.add_argument("--requests-per-tenant", type=int, default=24,
+                       help="(bench-serve) closed/open-loop requests each "
+                            "tenant issues")
+    serve.add_argument("--concurrency", type=int, default=4,
+                       help="(bench-serve) scheduler execution slots")
+    serve.add_argument("--ndatasets", type=int, default=4,
+                       help="(bench-serve) trajectories in the Zipf catalog")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="(bench-serve) Zipf skew of dataset popularity")
     chaos = parser.add_argument_group("chaos options")
     chaos.add_argument("--seed", type=int, default=0,
                        help="(chaos) fault-plan / workload seed")
@@ -279,6 +291,9 @@ BENCH_INGEST_JSON = pathlib.Path("benchmarks/results/BENCH_ingest.json")
 
 #: Canonical location of the bench-codec JSON record.
 BENCH_CODEC_JSON = pathlib.Path("benchmarks/results/BENCH_codec.json")
+
+#: Canonical location of the bench-serve JSON record.
+BENCH_SERVE_JSON = pathlib.Path("benchmarks/results/BENCH_serve.json")
 
 
 def _run_bench_ingest(args) -> int:
@@ -344,6 +359,39 @@ def _run_bench_pipeline(args) -> int:
             print(text)
     if not result["pass"]:
         print("repro: bench-pipeline below its floors", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_bench_serve(args) -> int:
+    from repro.harness.benchserve import (
+        render_serve_bench,
+        run_serve_bench,
+    )
+
+    result = run_serve_bench(
+        ntenants=args.tenants,
+        ndatasets=args.ndatasets,
+        natoms=args.natoms if args.natoms is not None else 600,
+        requests_per_tenant=args.requests_per_tenant,
+        concurrency=args.concurrency,
+        zipf_s=args.zipf,
+        seed=args.seed if args.seed else 7,
+    )
+    if args.json:
+        path = args.output or BENCH_SERVE_JSON
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        text = render_serve_bench(result)
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    if not result["pass"]:
+        print("repro: bench-serve below its floors", file=sys.stderr)
         return 1
     return 0
 
@@ -465,6 +513,7 @@ def main(argv=None) -> int:
         print("bench-codec")
         print("bench-ingest")
         print("bench-pipeline")
+        print("bench-serve")
         print("chaos")
         print("metrics")
         print("trace")
@@ -475,6 +524,8 @@ def main(argv=None) -> int:
         return _run_bench_ingest(args)
     if args.target == "bench-pipeline":
         return _run_bench_pipeline(args)
+    if args.target == "bench-serve":
+        return _run_bench_serve(args)
     if args.target == "chaos":
         return _run_chaos(args)
     if args.target == "metrics":

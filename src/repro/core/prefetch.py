@@ -38,7 +38,7 @@ __all__ = ["Prefetcher"]
 
 
 class _StreamState:
-    """Per-(logical, tag) access-pattern tracker."""
+    """Per-(tenant, logical, tag) access-pattern tracker."""
 
     __slots__ = ("last_start", "last_len", "stride", "confirmed")
 
@@ -65,6 +65,7 @@ class Prefetcher:
         "suppressed_pattern",  # no confirmed stride yet / random access
         "suppressed_inflight",
         "suppressed_eof",  # predicted chunks clamped at the subset's end
+        "suppressed_budget",  # tenant's speculative-byte budget exhausted
         "failed",  # speculative reads that hit a permanent fault
     )
 
@@ -81,6 +82,7 @@ class Prefetcher:
         "_metric_fields", key="suppressed_inflight"
     )
     suppressed_eof = metric_view("_metric_fields", key="suppressed_eof")
+    suppressed_budget = metric_view("_metric_fields", key="suppressed_budget")
     failed = metric_view("_metric_fields", key="failed")
 
     def __init__(
@@ -91,6 +93,8 @@ class Prefetcher:
         degradation_source: Optional[Callable[[], float]] = None,
         max_inflight: int = 1,
         metrics: Optional[MetricsRegistry] = None,
+        tenant_source: Optional[Callable[[], Optional[str]]] = None,
+        budget_source: Optional[Callable[[str], Optional[float]]] = None,
     ):
         if not 0.0 < high_watermark <= 1.0:
             raise ConfigurationError(
@@ -101,8 +105,19 @@ class Prefetcher:
         self.high_watermark = float(high_watermark)
         self.degradation_source = degradation_source
         self.max_inflight = int(max_inflight)
-        self._streams: Dict[Tuple[str, str], _StreamState] = {}
-        self._inflight: list = []
+        # Multi-tenant serving (repro.serve) wires these: ``tenant_source``
+        # resolves the ambient tenant so stride state and the in-flight
+        # cap become *per tenant* (two tenants interleaving sequential
+        # scans on one dataset must not corrupt each other's pattern or
+        # starve each other's speculation slot); ``budget_source`` maps a
+        # tenant to its cap on resident speculative bytes.  Both default
+        # to None, collapsing to the original single-tenant behavior.
+        self.tenant_source = tenant_source
+        self.budget_source = budget_source
+        self._streams: Dict[
+            Tuple[Optional[str], str, str], _StreamState
+        ] = {}
+        self._inflight: Dict[Optional[str], list] = {}
         self._last_degradation: Optional[float] = None
         # Registry-backed counters (the attributes above are views).
         self.metrics = (
@@ -126,8 +141,11 @@ class Prefetcher:
         """
         if not chunks:
             return None
+        tenant = self.tenant_source() if self.tenant_source is not None else None
         start, span = min(chunks), len(chunks)
-        state = self._streams.setdefault((logical, tag), _StreamState())
+        state = self._streams.setdefault(
+            (tenant, logical, tag), _StreamState()
+        )
         self._advance_pattern(state, start, span)
         if not state.confirmed:
             self.suppressed_pattern += 1
@@ -139,18 +157,17 @@ class Prefetcher:
         if cache is None or cache.pressure() >= self.high_watermark:
             self.suppressed_pressure += 1
             return None
-        self._inflight = [p for p in self._inflight if p.is_alive]
-        if len(self._inflight) >= self.max_inflight:
+        inflight = self._inflight.setdefault(tenant, [])
+        inflight[:] = [p for p in inflight if p.is_alive]
+        if len(inflight) >= self.max_inflight:
             self.suppressed_inflight += 1
             return None
         next_start = start + state.stride
         # Clamp the predicted window to the chunks the index actually has:
         # speculation past chunk 0 *or* past the subset's last chunk would
         # only spawn doomed no-op processes and inflate the issue counters.
-        last_chunk = max(
-            (r.chunk for r in self.retriever.plfs.subset_records(logical, tag)),
-            default=-1,
-        )
+        records = list(self.retriever.plfs.subset_records(logical, tag))
+        last_chunk = max((r.chunk for r in records), default=-1)
         predicted = range(next_start, next_start + span)
         targets = [c for c in predicted if 0 <= c <= last_chunk]
         clamped = span - len(targets)
@@ -158,13 +175,16 @@ class Prefetcher:
             self.suppressed_eof += clamped
         if not targets:
             return None
+        if not self._within_budget(tenant, cache, records, targets):
+            self.suppressed_budget += 1
+            return None
         self.issued += 1
         self.chunks_requested += len(targets)
         proc = self.sim.process(
             self._prefetch(logical, tag, targets),
             name=f"prefetch:{logical}#{tag}:{next_start}",
         )
-        self._inflight.append(proc)
+        inflight.append(proc)
         return proc
 
     def stats(self) -> Dict[str, object]:
@@ -190,6 +210,24 @@ class Prefetcher:
                 state.stride = stride if stride != 0 else None
         state.last_start = start
         state.last_len = span
+
+    def _within_budget(self, tenant, cache, records, targets) -> bool:
+        """Would this window keep the tenant's speculative bytes capped?
+
+        The budget counts *resident prefetched-but-unused* bytes, so it is
+        naturally reclaimable: demand consumption clears the block's
+        ``prefetched`` flag and frees budget for the next window.
+        """
+        if tenant is None or self.budget_source is None:
+            return True
+        budget = self.budget_source(tenant)
+        if budget is None:
+            return True
+        resident_fn = getattr(cache, "prefetched_bytes", None)
+        resident = float(resident_fn(tenant)) if resident_fn is not None else 0.0
+        wanted = set(targets)
+        window_bytes = sum(r.nbytes for r in records if r.chunk in wanted)
+        return resident + window_bytes <= float(budget)
 
     def _degraded(self) -> bool:
         """Has the fault layer reported new trouble since the last look?"""

@@ -87,6 +87,25 @@ class ConfigurationError(ReproError):
     """Invalid platform or scenario configuration."""
 
 
+class AdmissionRejected(ReproError):
+    """A tenant request breached its admission limits (serving layer).
+
+    Raised *synchronously* at submit time -- a rejected request never
+    enters the scheduler, so admission control bounds each tenant's
+    queue footprint, not just its service share.
+    """
+
+    def __init__(self, tenant: str, reason: str, limit: float, value: float):
+        self.tenant = str(tenant)
+        self.reason = str(reason)
+        self.limit = float(limit)
+        self.value = float(value)
+        super().__init__(
+            f"tenant {tenant!r} rejected ({reason}): "
+            f"{value:g} would exceed limit {limit:g}"
+        )
+
+
 class FaultError(ReproError):
     """Base class for injected or detected I/O faults (see :mod:`repro.faults`).
 

@@ -255,7 +255,9 @@ class BlockCache:
         }
         if previous is not None:
             for field, metric in previous.items():
-                if metric.value:
+                # Subclasses widen ``_metric_fields`` after this runs; skip
+                # their keys here and let their ``bind_metrics`` carry them.
+                if field in self._metric_fields and metric.value:
                     self._metric_fields[field].set(metric.value)
         self.metrics.gauge(
             "block_cache_bytes", fn=lambda: self.l1_bytes, tier="l1"
@@ -364,10 +366,15 @@ class BlockCache:
             )
 
         dropped = 0
-        for lru in (self._l1, self._l2):
-            for key in [k for k in lru if matches(k)]:
-                del lru[key]
-                dropped += 1
+        for key in [k for k in self._l1 if matches(k)]:
+            block = self._l1.pop(key)
+            self._on_l1_remove(key, block)
+            self._on_removed(key, block)
+            dropped += 1
+        for key in [k for k in self._l2 if matches(k)]:
+            block = self._l2.pop(key)
+            self._on_removed(key, block)
+            dropped += 1
         self.invalidations += dropped
         return dropped
 
@@ -402,28 +409,56 @@ class BlockCache:
             block.prefetched = False
 
     def _insert_l1(self, key: BlockKey, block: CachedBlock) -> None:
+        previous = self._l1.pop(key, None)
+        if previous is not None:
+            self._on_l1_remove(key, previous)
         self._l1[key] = block
         self._l1.move_to_end(key)
+        self._on_l1_insert(key, block)
         while self.l1_bytes > self.l1_capacity_bytes and len(self._l1) > 1:
-            demoted_key, demoted = self._l1.popitem(last=False)
-            self._demote(demoted_key, demoted)
+            victim_key = self._pick_l1_victim()
+            victim = self._l1.pop(victim_key)
+            self._on_l1_remove(victim_key, victim)
+            self._demote(victim_key, victim)
         # A single over-budget resident block demotes too.
         if self.l1_bytes > self.l1_capacity_bytes:
             only_key, only = self._l1.popitem(last=False)
+            self._on_l1_remove(only_key, only)
             self._demote(only_key, only)
 
     def _demote(self, key: BlockKey, block: CachedBlock) -> None:
         if block.nbytes > self.l2_capacity_bytes:
-            self._drop(block)
+            self._drop(key, block)
             return
         self.demotions += 1
         self._l2[key] = block
         self._l2.move_to_end(key)
         while self.l2_bytes > self.l2_capacity_bytes and self._l2:
-            _, evicted = self._l2.popitem(last=False)
-            self._drop(evicted)
+            victim_key = self._pick_l2_victim()
+            evicted = self._l2.pop(victim_key)
+            self._drop(victim_key, evicted)
 
-    def _drop(self, block: CachedBlock) -> None:
+    def _drop(self, key: BlockKey, block: CachedBlock) -> None:
         self.evictions += 1
         if block.prefetched:
             self.prefetch_wasted += 1
+        self._on_removed(key, block)
+
+    # -- subclass hooks (fair-share partitioning overrides these) ----------
+
+    def _pick_l1_victim(self) -> BlockKey:
+        """Key of the next L1 block to demote; default is plain LRU."""
+        return next(iter(self._l1))
+
+    def _pick_l2_victim(self) -> BlockKey:
+        """Key of the next L2 block to evict; default is plain LRU."""
+        return next(iter(self._l2))
+
+    def _on_l1_insert(self, key: BlockKey, block: CachedBlock) -> None:
+        """A block became L1-resident (admit, refresh, or promote)."""
+
+    def _on_l1_remove(self, key: BlockKey, block: CachedBlock) -> None:
+        """A block left L1 (demotion, invalidation, or refresh)."""
+
+    def _on_removed(self, key: BlockKey, block: CachedBlock) -> None:
+        """A block left the cache entirely (eviction or invalidation)."""

@@ -1,0 +1,262 @@
+"""Fair-share partitioning of the block cache across tenants.
+
+:class:`TenantBlockCache` extends the tiered
+:class:`~repro.fs.cache.BlockCache` with per-tenant L1 byte accounting:
+
+* each tenant may hold a **reserved quota** of L1 bytes; the remainder of
+  L1 is a **shared pool** that any tenant (and cross-tenant community
+  blocks) may use;
+* the pool is **reclaimable**: nothing is wasted while the cache is
+  uncontended -- a lone tenant can fill all of L1 -- but when eviction
+  pressure arrives, victims are chosen first among blocks whose holder is
+  *over its allocation* (a tenant beyond its reservation, a tenant with
+  no reservation, or the shared pool beyond its capacity), in LRU order.
+  A tenant's within-quota working set therefore survives another
+  tenant's scan;
+* **charge follows use**: a block that a second tenant hits is re-charged
+  to the shared pool (owner ``None``).  This is the fix for the two
+  accounting-leak classes the multi-tenant suite exposed -- derived
+  whole-subset entries billed forever to whichever tenant assembled them
+  first, and in-flight dedup joins where the joining tenant consumed a
+  block only the issuing tenant was charged for.
+
+Tenant attribution is ambient: :func:`span_tenant_source` resolves the
+current tenant by walking the open trace-span chain for a ``tenant`` tag,
+which the scheduler's ``serve.request`` span carries.  Because spawned
+processes inherit their parent's span context, background prefetches are
+attributed to the tenant whose demand window triggered them.  Outside any
+tenant-tagged span (direct ADA use, tier-1 tests) the source returns
+``None`` and the cache behaves exactly like its parent class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.fs.cache import BlockCache, BlockKey, CachedBlock
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["TenantBlockCache", "span_tenant_source"]
+
+
+def span_tenant_source(sim) -> Callable[[], Optional[str]]:
+    """Ambient tenant resolver: nearest ``tenant`` tag up the span chain."""
+
+    def current() -> Optional[str]:
+        tracer = getattr(sim, "tracer", None)
+        if tracer is None:
+            return None
+        sp = tracer.current()
+        while sp is not None:
+            tenant = sp.tags.get("tenant")
+            if tenant is not None:
+                return str(tenant)
+            sp = sp.parent
+        return None
+
+    return current
+
+
+class TenantBlockCache(BlockCache):
+    """Two-tier block cache with per-tenant L1 quotas over a shared pool."""
+
+    def __init__(
+        self,
+        sim,
+        quotas: Optional[Dict[str, float]] = None,
+        tenant_source: Optional[Callable[[], Optional[str]]] = None,
+        **kwargs,
+    ):
+        # Accounting state must exist before ``super().__init__`` runs:
+        # it calls ``bind_metrics``, which our override extends.
+        self._owner: Dict[BlockKey, Optional[str]] = {}
+        self._l1_charged: Dict[Optional[str], float] = {}
+        self._quotas: Dict[str, float] = {}
+        self.tenant_source = tenant_source
+        super().__init__(sim, **kwargs)
+        for tenant, nbytes in (quotas or {}).items():
+            self.set_quota(tenant, nbytes)
+
+    # -- configuration ------------------------------------------------------
+
+    def set_tenant_source(
+        self, source: Optional[Callable[[], Optional[str]]]
+    ) -> None:
+        self.tenant_source = source
+
+    def set_quota(self, tenant: str, nbytes: float) -> None:
+        """Reserve ``nbytes`` of L1 for ``tenant`` (0 removes protection)."""
+        self._quotas[str(tenant)] = max(0.0, float(nbytes))
+
+    def quota_bytes(self, tenant: str) -> float:
+        return self._quotas.get(str(tenant), 0.0)
+
+    def shared_capacity_bytes(self) -> float:
+        """L1 bytes not reserved by any tenant (the reclaimable pool)."""
+        return max(0.0, self.l1_capacity_bytes - sum(self._quotas.values()))
+
+    # -- metrics ------------------------------------------------------------
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        previous = getattr(self, "_metric_fields", None)
+        super().bind_metrics(metrics)
+        for name, field in (
+            ("block_cache_cross_tenant_hits_total", "cross_tenant_hits"),
+            ("block_cache_quota_evictions_total", "quota_evictions"),
+        ):
+            self._metric_fields[field] = metrics.counter(name)
+            if previous is not None and field in previous:
+                if previous[field].value:
+                    self._metric_fields[field].set(previous[field].value)
+        metrics.gauge(
+            "block_cache_shared_pool_bytes",
+            fn=lambda: self._l1_charged.get(None, 0.0),
+        )
+
+    @property
+    def cross_tenant_hits(self) -> int:
+        return int(self._metric_fields["cross_tenant_hits"].value)
+
+    @cross_tenant_hits.setter
+    def cross_tenant_hits(self, value: int) -> None:
+        self._metric_fields["cross_tenant_hits"].set(value)
+
+    @property
+    def quota_evictions(self) -> int:
+        return int(self._metric_fields["quota_evictions"].value)
+
+    @quota_evictions.setter
+    def quota_evictions(self, value: int) -> None:
+        self._metric_fields["quota_evictions"].set(value)
+
+    # -- accounting queries --------------------------------------------------
+
+    def owner(self, key: BlockKey) -> Optional[str]:
+        """Who the block is charged to (``None`` = shared pool / unknown)."""
+        return self._owner.get(key)
+
+    def charged_bytes(self, tenant: Optional[str]) -> float:
+        """L1 bytes currently billed to ``tenant`` (``None`` = shared)."""
+        return self._l1_charged.get(tenant, 0.0)
+
+    def prefetched_bytes(self, tenant: Optional[str]) -> float:
+        """Resident speculative (prefetched, unused) bytes billed to
+        ``tenant`` -- what the prefetcher's per-tenant budget caps."""
+        total = 0.0
+        for lru in (self._l1, self._l2):
+            for key, block in lru.items():
+                if block.prefetched and self._owner.get(key) == tenant:
+                    total += block.nbytes
+        return total
+
+    # -- data path overrides -------------------------------------------------
+
+    def _current_tenant(self) -> Optional[str]:
+        source = self.tenant_source
+        if source is None:
+            return None
+        tenant = source()
+        return None if tenant is None else str(tenant)
+
+    def admit(
+        self,
+        key: BlockKey,
+        nbytes: int,
+        data: Optional[bytes] = None,
+        prefetched: bool = False,
+    ) -> None:
+        tenant = self._current_tenant()
+        if key not in self:
+            self._owner[key] = tenant
+        elif self._owner.get(key) != tenant:
+            # Re-admitted by a different tenant: community block.
+            self._transfer(key, None)
+        super().admit(key, nbytes, data=data, prefetched=prefetched)
+        if key not in self:
+            # Bypassed (larger than L1): never leave a dangling owner.
+            self._owner.pop(key, None)
+
+    def lookup(self, key: BlockKey):
+        block = yield from super().lookup(key)
+        if block is not None:
+            owner = self._owner.get(key)
+            tenant = self._current_tenant()
+            if tenant is not None and owner is not None and tenant != owner:
+                self.cross_tenant_hits += 1
+                self._transfer(key, None)
+        return block
+
+    # -- hook implementations ------------------------------------------------
+
+    def _on_l1_insert(self, key: BlockKey, block: CachedBlock) -> None:
+        owner = self._owner.get(key)
+        self._l1_charged[owner] = (
+            self._l1_charged.get(owner, 0.0) + block.nbytes
+        )
+
+    def _on_l1_remove(self, key: BlockKey, block: CachedBlock) -> None:
+        owner = self._owner.get(key)
+        remaining = self._l1_charged.get(owner, 0.0) - block.nbytes
+        if remaining > 0.0:
+            self._l1_charged[owner] = remaining
+        else:
+            self._l1_charged.pop(owner, None)
+
+    def _on_removed(self, key: BlockKey, block: CachedBlock) -> None:
+        self._owner.pop(key, None)
+
+    def _transfer(self, key: BlockKey, new_owner: Optional[str]) -> None:
+        old_owner = self._owner.get(key)
+        if old_owner == new_owner:
+            return
+        block = self._l1.get(key)
+        if block is not None:
+            remaining = self._l1_charged.get(old_owner, 0.0) - block.nbytes
+            if remaining > 0.0:
+                self._l1_charged[old_owner] = remaining
+            else:
+                self._l1_charged.pop(old_owner, None)
+            self._l1_charged[new_owner] = (
+                self._l1_charged.get(new_owner, 0.0) + block.nbytes
+            )
+        self._owner[key] = new_owner
+
+    def _over_allocation(self, owner: Optional[str]) -> bool:
+        """Is this holder using more L1 than it is entitled to keep?"""
+        charged = self._l1_charged.get(owner, 0.0)
+        if owner is None:
+            return charged > self.shared_capacity_bytes()
+        quota = self._quotas.get(owner)
+        if quota is None:
+            return True  # no reservation: always reclaimable
+        return charged > quota
+
+    def _pick_l1_victim(self) -> BlockKey:
+        fallback = None
+        for key in self._l1:
+            if fallback is None:
+                fallback = key
+            if self._over_allocation(self._owner.get(key)):
+                self.quota_evictions += 1
+                return key
+        return fallback
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        stats = super().stats()
+        stats["shared_capacity_bytes"] = self.shared_capacity_bytes()
+        stats["shared_l1_bytes"] = self.charged_bytes(None)
+        stats["cross_tenant_hits"] = self.cross_tenant_hits
+        stats["quota_evictions"] = self.quota_evictions
+        stats["tenants"] = {
+            tenant: {
+                "quota_bytes": self._quotas.get(tenant, 0.0),
+                "l1_bytes": self.charged_bytes(tenant),
+            }
+            for tenant in sorted(
+                set(self._quotas)
+                | {o for o in self._l1_charged if o is not None}
+            )
+        }
+        return stats

@@ -1,0 +1,258 @@
+"""The in-process multi-tenant serving front end.
+
+:class:`ServeFront` composes one shared :class:`~repro.core.ADA`
+middleware with the serving-layer pieces::
+
+    Session.submit --> SessionManager.admit (typed rejection)
+                   --> RequestScheduler     (WFQ, nice-levels)
+                   --> per-tenant fault gate + bounded retries
+                   --> ADA.fetch_chunks / fetch / fetch_merged / ingest_stream
+
+Tenant attribution is ambient: the scheduler wraps every execution in a
+``serve.request`` span tagged with the tenant, and the front wires a
+span-walking tenant source into the :class:`TenantBlockCache` and the
+prefetcher, so *every* cache admission and speculative read deep inside
+the middleware is billed to the right tenant -- including background
+prefetch processes, which inherit the demand fetch's span context.
+
+Per-tenant device faults are modeled at the serving boundary: when a
+:class:`~repro.faults.FaultPlan` is supplied, every dispatched request
+first consults the ``serve:<tenant>`` site, paying injected latency and
+transient errors through a bounded :class:`~repro.faults.Retrier`.
+Because the retries run *inside the faulty tenant's concurrency slot and
+WFQ flow*, a misbehaving tenant burns only its own share -- the
+non-monopolization property the chaos suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.core.middleware import ADA
+from repro.errors import ConfigurationError, ReproError
+from repro.faults.plan import FaultPlan, raise_fault
+from repro.faults.retry import Retrier, RetryPolicy
+from repro.obs.trace import Tracer
+from repro.serve.fairshare import TenantBlockCache, span_tenant_source
+from repro.serve.scheduler import RequestScheduler, ServeRequest
+from repro.serve.session import Session, SessionManager, TenantConfig
+
+__all__ = ["ServeFront"]
+
+#: Request kinds the dispatcher understands (one per ADA read/write path).
+KINDS = ("fetch_chunks", "fetch", "fetch_merged", "ingest_stream")
+
+
+class ServeFront:
+    """Multiplexes N tenant sessions over one shared ADA middleware."""
+
+    def __init__(
+        self,
+        ada: ADA,
+        concurrency: int = 4,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        self.ada = ada
+        self.sim = ada.sim
+        self.metrics = ada.metrics
+        # Ambient tenant context rides the span chain, so serving always
+        # runs traced (a no-op-cheap tracer if none was attached).
+        self.tracer = Tracer.for_sim(self.sim)
+        self.tenant_source = span_tenant_source(self.sim)
+        cache = ada.block_cache
+        if isinstance(cache, TenantBlockCache) and cache.tenant_source is None:
+            cache.set_tenant_source(self.tenant_source)
+        prefetcher = ada.prefetcher
+        if prefetcher is not None:
+            if prefetcher.tenant_source is None:
+                prefetcher.tenant_source = self.tenant_source
+            if prefetcher.budget_source is None:
+                prefetcher.budget_source = self._prefetch_budget
+        self.sessions = SessionManager(self.sim, self.metrics)
+        self.scheduler = RequestScheduler(
+            self.sim,
+            dispatch=self._dispatch,
+            concurrency=concurrency,
+            metrics=self.metrics,
+        )
+        self.fault_plan = fault_plan
+        self._retrier = (
+            Retrier(self.sim, policy=retry_policy)
+            if fault_plan is not None
+            else None
+        )
+
+    # -- tenant lifecycle ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        nice: int = 0,
+        max_inflight: int = 8,
+        byte_budget: Optional[int] = None,
+        cache_quota_bytes: Optional[int] = None,
+        prefetch_budget_bytes: Optional[int] = None,
+    ) -> Session:
+        """Register a tenant and return its session handle."""
+        config = TenantConfig(
+            name=name,
+            nice=nice,
+            max_inflight=max_inflight,
+            byte_budget=byte_budget,
+            cache_quota_bytes=cache_quota_bytes,
+            prefetch_budget_bytes=prefetch_budget_bytes,
+        )
+        state = self.sessions.register(config)
+        cache = self.ada.block_cache
+        if cache_quota_bytes is not None:
+            if isinstance(cache, TenantBlockCache):
+                cache.set_quota(name, cache_quota_bytes)
+            else:
+                raise ConfigurationError(
+                    "cache_quota_bytes needs a TenantBlockCache; "
+                    f"the deployment has {type(cache).__name__!r}"
+                )
+        return Session(self, state)
+
+    def session(self, name: str) -> Session:
+        """A (new) handle onto an already-registered tenant."""
+        return Session(self, self.sessions.get(name))
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        kind: str,
+        payload: Dict[str, object],
+        nice: Optional[int] = None,
+    ) -> ServeRequest:
+        """Admission-check and enqueue one request (synchronous)."""
+        if kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown serve request kind {kind!r}; expected one of {KINDS}"
+            )
+        state = self.sessions.get(tenant)
+        cost = self._estimate_cost(kind, payload)
+        self.sessions.admit(tenant, cost)  # raises AdmissionRejected
+        request = ServeRequest(
+            tenant=tenant,
+            kind=kind,
+            payload=dict(payload),
+            nice=state.config.nice if nice is None else int(nice),
+            cost_bytes=cost,
+            on_complete=lambda req, t=tenant, c=cost: self.sessions.release(
+                t, c
+            ),
+        )
+        return self.scheduler.submit(request)
+
+    def _estimate_cost(self, kind: str, payload: Dict[str, object]) -> int:
+        """Byte estimate used for admission budgets and WFQ cost.
+
+        Index metadata is synchronous bookkeeping in this repo's
+        convention, so sizing from the subset records is free; unknown
+        datasets fall back to cost 1 and fail inside dispatch instead.
+        """
+        try:
+            if kind == "fetch_chunks":
+                sizes = {
+                    r.chunk: r.nbytes
+                    for r in self.ada.plfs.subset_records(
+                        payload["logical"], payload["tag"]
+                    )
+                }
+                wanted = payload.get("chunks") or ()
+                return max(1, int(sum(sizes.get(c, 0) for c in wanted)))
+            if kind == "fetch":
+                return max(
+                    1,
+                    int(
+                        self.ada.subset_nbytes(
+                            payload["logical"], payload["tag"]
+                        )
+                    ),
+                )
+            if kind == "fetch_merged":
+                return max(
+                    1, int(self.ada.container_nbytes(payload["logical"]))
+                )
+            if kind == "ingest_stream":
+                return max(1, len(payload["blob"]))
+        except ReproError:
+            return 1
+        return 1
+
+    # -- dispatch (runs inside the scheduler's serve.request span) ----------
+
+    def _dispatch(self, request: ServeRequest) -> Generator:
+        if self.fault_plan is None:
+            result = yield from self._attempt(request)
+            return result
+        result = yield from self._retrier.call(
+            lambda: self._attempt(request),
+            key=f"serve:{request.tenant}:{request.seq}",
+        )
+        return result
+
+    def _attempt(self, request: ServeRequest) -> Generator:
+        if self.fault_plan is not None:
+            # The tenant's "device": faults at the serving boundary hit
+            # every request of this tenant and nobody else's.
+            site = f"serve:{request.tenant}"
+            decision = self.fault_plan.decide(site, request.kind)
+            if decision.latency_s:
+                yield self.sim.timeout(decision.latency_s)
+            if decision.error is not None:
+                raise_fault(decision.error, site, request.kind)
+        result = yield from self._execute_kind(request)
+        return result
+
+    def _execute_kind(self, request: ServeRequest) -> Generator:
+        payload = request.payload
+        if request.kind == "fetch_chunks":
+            objs = yield from self.ada.fetch_chunks(
+                payload["logical"], payload["tag"], payload["chunks"]
+            )
+            request.served_bytes = int(sum(o.nbytes for o in objs))
+            return objs
+        if request.kind == "fetch":
+            obj = yield from self.ada.fetch(
+                payload["logical"], payload["tag"]
+            )
+            request.served_bytes = int(obj.nbytes)
+            return obj
+        if request.kind == "fetch_merged":
+            obj = yield from self.ada.fetch_merged(payload["logical"])
+            request.served_bytes = int(obj.nbytes)
+            return obj
+        # Guarded in submit(); only ingest_stream remains.
+        result = yield from self.ada.ingest_stream(
+            payload["logical"],
+            payload["blob"],
+            pdb_text=payload.get("pdb_text"),
+        )
+        request.served_bytes = len(payload["blob"])
+        return result
+
+    # -- wiring helpers ------------------------------------------------------
+
+    def _prefetch_budget(self, tenant: str) -> Optional[float]:
+        try:
+            state = self.sessions.get(tenant)
+        except ConfigurationError:
+            return None
+        budget = state.config.prefetch_budget_bytes
+        return None if budget is None else float(budget)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        out = {
+            "scheduler": self.scheduler.stats(),
+            "sessions": self.sessions.stats(),
+        }
+        if self._retrier is not None:
+            out["serve_retry"] = self._retrier.stats.as_dict()
+        return out

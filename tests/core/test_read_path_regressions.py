@@ -7,14 +7,19 @@
   chunk -- before the fix, only the ``c >= 0`` bound existed, so
   end-of-stream predictions issued doomed windows and inflated the
   ``issued``/``chunks_requested`` counters.
+* The multi-tenant sweep: per-tenant cache accounting must survive
+  derived whole-subset entries and cross-tenant dedup (charge follows
+  use), and the prefetcher's stride state and in-flight cap must be
+  keyed per tenant, not global.
 """
 
 import pytest
 
 from repro.core import ADA
 from repro.errors import FaultError, PermanentFaultError
-from repro.fs.cache import BlockCache
+from repro.fs.cache import DERIVED_SUBSET, BlockCache
 from repro.fs.localfs import LocalFS
+from repro.serve import TenantBlockCache
 from repro.sim import Simulator
 from repro.storage.ssd import NVME_SSD_256GB
 from repro.workloads import build_workload
@@ -113,3 +118,191 @@ def test_prefetch_prediction_entirely_past_eof_is_suppressed():
     assert prefetcher.chunks_requested == 0
     assert prefetcher.suppressed_eof == 2  # 14 and 15, both past the end
     assert prefetcher.stats()["suppressed_eof"] == 2
+
+
+# -- per-tenant cache accounting (charge follows use) -----------------------
+
+
+def _tenant_ada(prefetch: bool = False):
+    """Like :func:`_chunked_ada` but with a TenantBlockCache and a stub
+    tenant source the test toggles directly (no serving front needed)."""
+    from repro.formats.xtc import encode_raw
+
+    current = {"tenant": None}
+    sim = Simulator()
+    ada = ADA(
+        sim,
+        backends={"ssd": LocalFS(sim, NVME_SSD_256GB, name="ssd")},
+        block_cache=TenantBlockCache(
+            sim, tenant_source=lambda: current["tenant"]
+        ),
+        prefetch=prefetch,
+    )
+    if prefetch:
+        ada.prefetcher.tenant_source = lambda: current["tenant"]
+    frames_per_chunk = 3
+    workload = build_workload(
+        natoms=240, nframes=NCHUNKS * frames_per_chunk, seed=9
+    )
+    blobs = [
+        encode_raw(
+            workload.trajectory.slice_frames(
+                i * frames_per_chunk, (i + 1) * frames_per_chunk
+            )
+        )
+        for i in range(NCHUNKS)
+    ]
+    sim.run_process(ada.ingest(LOGICAL, workload.pdb_text, blobs[0]))
+    for blob in blobs[1:]:
+        sim.run_process(ada.ingest_append(LOGICAL, blob))
+    return sim, ada, current
+
+
+def _charge_is_consistent(cache):
+    return sum(cache.charged_bytes(o) for o in set(cache._owner.values())) == (
+        cache.l1_bytes
+    )
+
+
+def test_derived_subset_entry_recharged_on_cross_tenant_hit():
+    """The whole-subset entry A assembled stops billing A once B uses it.
+
+    Before the fix the derived entry stayed charged to whichever tenant
+    happened to assemble it first, silently eating that tenant's quota
+    while every neighbor enjoyed the hits.
+    """
+    sim, ada, current = _tenant_ada()
+    key = (LOGICAL, "p", DERIVED_SUBSET)
+
+    current["tenant"] = "a"
+    sim.run_process(ada.fetch(LOGICAL, "p"))
+    assert ada.block_cache.owner(key) == "a"
+    charged_to_a = ada.block_cache.charged_bytes("a")
+    assert charged_to_a > 0
+
+    current["tenant"] = "b"
+    sim.run_process(ada.fetch(LOGICAL, "p"))
+    assert ada.block_cache.owner(key) is None  # community property now
+    assert ada.block_cache.cross_tenant_hits >= 1
+    assert ada.block_cache.charged_bytes("a") < charged_to_a
+    assert ada.block_cache.charged_bytes(None) > 0
+    assert _charge_is_consistent(ada.block_cache)
+
+
+def test_cross_tenant_chunk_reuse_moves_charge_to_shared_pool():
+    """B consuming blocks A faulted in must not leave A holding the bill."""
+    sim, ada, current = _tenant_ada()
+    cache = ada.block_cache
+
+    current["tenant"] = "a"
+    sim.run_process(ada.fetch_chunks(LOGICAL, "p", [0, 1, 2]))
+    for chunk in (0, 1, 2):
+        assert cache.owner((LOGICAL, "p", chunk)) == "a"
+
+    current["tenant"] = "b"
+    sim.run_process(ada.fetch_chunks(LOGICAL, "p", [0, 1, 2]))
+    for chunk in (0, 1, 2):
+        assert cache.owner((LOGICAL, "p", chunk)) is None
+    assert cache.charged_bytes(None) > 0
+    assert _charge_is_consistent(cache)
+
+
+def test_concurrent_cross_tenant_fetch_keeps_accounting_consistent():
+    """Two tenants racing on the same chunks: whoever wins the in-flight
+    dedup, the books must still balance and reuse must communalize."""
+    sim, ada, current = _tenant_ada()
+    cache = ada.block_cache
+
+    def tenant_fetch(name, chunks):
+        current["tenant"] = name
+        objs = yield from ada.fetch_chunks(LOGICAL, "p", chunks)
+        return objs
+
+    def race():
+        a = sim.process(tenant_fetch("a", [3, 4, 5]))
+        b = sim.process(tenant_fetch("b", [3, 4, 5]))
+        yield sim.all_of([a, b])
+        return None
+
+    sim.run_process(race())
+    assert _charge_is_consistent(cache)
+    # A later touch by either tenant settles any single-owner residue.
+    current["tenant"] = "b"
+    sim.run_process(ada.fetch_chunks(LOGICAL, "p", [3, 4, 5]))
+    current["tenant"] = "a"
+    sim.run_process(ada.fetch_chunks(LOGICAL, "p", [3, 4, 5]))
+    for chunk in (3, 4, 5):
+        assert cache.owner((LOGICAL, "p", chunk)) is None
+    assert _charge_is_consistent(cache)
+
+
+# -- per-tenant prefetch streams and in-flight slots ------------------------
+
+
+def test_stride_detection_survives_cross_tenant_interleaving():
+    """Two tenants scrubbing the same dataset confirm *separate* strides.
+
+    With the old global ``(logical, tag)`` stream key, B's windows reset
+    A's stride every observation (stride 0), so neither tenant ever
+    earned a prefetch under interleaving.
+    """
+    sim, ada, current = _tenant_ada(prefetch=True)
+    prefetcher = ada.prefetcher
+    for window in ([0, 1], [2, 3], [4, 5]):
+        for tenant in ("a", "b"):
+            current["tenant"] = tenant
+            prefetcher.observe(LOGICAL, "p", window)
+    assert ("a", LOGICAL, "p") in prefetcher._streams
+    assert ("b", LOGICAL, "p") in prefetcher._streams
+    assert prefetcher.issued == 2  # both confirmed on their third window
+    assert prefetcher.suppressed_inflight == 0
+    sim.run()
+
+
+def test_inflight_cap_is_per_tenant_not_global():
+    """A's in-flight speculation must not suppress B's (but still its own)."""
+    sim, ada, current = _tenant_ada(prefetch=True)
+    prefetcher = ada.prefetcher
+    assert prefetcher.max_inflight == 1
+
+    current["tenant"] = "a"
+    prefetcher.observe(LOGICAL, "p", [0, 1])
+    prefetcher.observe(LOGICAL, "p", [2, 3])
+    proc = prefetcher.observe(LOGICAL, "p", [4, 5])
+    assert proc is not None and proc.is_alive  # A's slot is now occupied
+
+    # A itself is capped...
+    prefetcher.observe(LOGICAL, "p", [6, 7])
+    assert prefetcher.suppressed_inflight == 1
+
+    # ...but B is not: its slot is its own.
+    current["tenant"] = "b"
+    prefetcher.observe(LOGICAL, "p", [0, 1])
+    prefetcher.observe(LOGICAL, "p", [2, 3])
+    assert prefetcher.observe(LOGICAL, "p", [4, 5]) is not None
+    assert prefetcher.suppressed_inflight == 1  # unchanged
+    assert prefetcher.issued == 2
+    assert set(prefetcher._inflight) == {"a", "b"}
+    sim.run()
+
+
+def test_prefetch_budget_caps_speculative_bytes():
+    """A zero budget suppresses speculation and counts it as such."""
+    sim, ada, current = _tenant_ada(prefetch=True)
+    prefetcher = ada.prefetcher
+    prefetcher.budget_source = lambda tenant: 0.0
+
+    current["tenant"] = "a"
+    prefetcher.observe(LOGICAL, "p", [0, 1])
+    prefetcher.observe(LOGICAL, "p", [2, 3])
+    assert prefetcher.observe(LOGICAL, "p", [4, 5]) is None
+    assert prefetcher.suppressed_budget == 1
+    assert prefetcher.issued == 0
+
+    # No ambient tenant -> single-tenant behavior: budgets do not apply.
+    current["tenant"] = None
+    prefetcher.observe(LOGICAL, "p", [6, 7])
+    prefetcher.observe(LOGICAL, "p", [8, 9])
+    # (stream for None confirmed on its second same-stride step)
+    assert prefetcher.suppressed_budget == 1
+    sim.run()

@@ -134,6 +134,7 @@ def test_prefetcher_stats_schema(driven_ada):
         "suppressed_pattern",
         "suppressed_inflight",
         "suppressed_eof",
+        "suppressed_budget",
         "failed",
     }
     for key, value in stats.items():
