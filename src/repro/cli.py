@@ -177,8 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=sorted(GENERATORS)
-        + ["all", "bench-codec", "bench-ingest", "bench-pipeline",
-           "bench-serve", "chaos", "metrics", "trace", "list"],
+        + ["all", "bench-codec", "bench-cluster", "bench-ingest",
+           "bench-pipeline", "bench-serve", "chaos", "metrics", "trace",
+           "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -240,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(bench-serve) trajectories in the Zipf catalog")
     serve.add_argument("--zipf", type=float, default=1.1,
                        help="(bench-serve) Zipf skew of dataset popularity")
+    cluster = parser.add_argument_group("bench-cluster options")
+    cluster.add_argument("--nodes", type=str, default="1,2,4,8",
+                         help="(bench-cluster) comma-separated node counts "
+                              "to sweep (must include 1)")
+    cluster.add_argument("--replicas", type=int, default=3,
+                         help="(bench-cluster) replica count for the hot "
+                              "playback tag")
     chaos = parser.add_argument_group("chaos options")
     chaos.add_argument("--seed", type=int, default=0,
                        help="(chaos) fault-plan / workload seed")
@@ -294,6 +302,9 @@ BENCH_CODEC_JSON = pathlib.Path("benchmarks/results/BENCH_codec.json")
 
 #: Canonical location of the bench-serve JSON record.
 BENCH_SERVE_JSON = pathlib.Path("benchmarks/results/BENCH_serve.json")
+
+#: Canonical location of the bench-cluster JSON record.
+BENCH_CLUSTER_JSON = pathlib.Path("benchmarks/results/BENCH_cluster.json")
 
 
 def _run_bench_ingest(args) -> int:
@@ -392,6 +403,44 @@ def _run_bench_serve(args) -> int:
             print(text)
     if not result["pass"]:
         print("repro: bench-serve below its floors", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_bench_cluster(args) -> int:
+    from repro.harness.benchcluster import (
+        render_cluster_bench,
+        run_cluster_bench,
+    )
+
+    try:
+        node_counts = tuple(
+            int(part) for part in args.nodes.split(",") if part.strip()
+        )
+    except ValueError:
+        print(f"repro: bad --nodes value {args.nodes!r}", file=sys.stderr)
+        return 2
+    result = run_cluster_bench(
+        node_counts=node_counts,
+        requests_per_tenant=args.requests_per_tenant,
+        replicas=args.replicas,
+        zipf_s=args.zipf,
+        seed=args.seed if args.seed else 7,
+    )
+    if args.json:
+        path = args.output or BENCH_CLUSTER_JSON
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        text = render_cluster_bench(result)
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    if not result["pass"]:
+        print("repro: bench-cluster below its floors", file=sys.stderr)
         return 1
     return 0
 
@@ -511,6 +560,7 @@ def main(argv=None) -> int:
         for name in sorted(GENERATORS):
             print(name)
         print("bench-codec")
+        print("bench-cluster")
         print("bench-ingest")
         print("bench-pipeline")
         print("bench-serve")
@@ -520,6 +570,8 @@ def main(argv=None) -> int:
         return 0
     if args.target == "bench-codec":
         return _run_bench_codec(args)
+    if args.target == "bench-cluster":
+        return _run_bench_cluster(args)
     if args.target == "bench-ingest":
         return _run_bench_ingest(args)
     if args.target == "bench-pipeline":

@@ -1,18 +1,36 @@
-"""Cluster substrate: nodes, memory accounting, and energy integration.
+"""Cluster substrate: nodes, memory accounting, energy, and sharding.
 
 The fat-node OOM kills of Fig. 10 come from :class:`MemoryLedger` capacity
 enforcement; the energy series of Fig. 10d comes from integrating node
-power envelopes over the busy intervals the DES records.
+power envelopes over the busy intervals the DES records.  The sharding
+layer (:mod:`repro.cluster.shard`) partitions the ADA middleware itself
+across N nodes behind a single-middleware surface.
 """
 
 from repro.cluster.memory import MemoryLedger
 from repro.cluster.node import ComputeNode, CpuSpec, StorageNode
 from repro.cluster.energy import cluster_energy, node_energy
 
+_SHARD_EXPORTS = ("HashRing", "ShardNode", "ShardedADA")
+
+
+def __getattr__(name):
+    # Lazy: repro.core.middleware imports repro.cluster.node, and the
+    # shard layer imports the middleware back -- importing it eagerly
+    # here would close that cycle during the middleware's own import.
+    if name in _SHARD_EXPORTS:
+        from repro.cluster import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "ComputeNode",
     "CpuSpec",
+    "HashRing",
     "MemoryLedger",
+    "ShardNode",
+    "ShardedADA",
     "StorageNode",
     "cluster_energy",
     "node_energy",

@@ -1,0 +1,1076 @@
+"""Distributed ADA: shard the middleware itself across N nodes.
+
+PVFS already stripes *objects* across simulated storage devices, but the
+middleware (categorizer, dispatcher, block cache, frame index) has been a
+singleton -- aggregate read throughput was capped by one node's cache and
+device queues no matter how many backends existed.  This module scales
+the middleware out:
+
+* :class:`HashRing` -- consistent hashing with virtual nodes, keyed on
+  ``(logical, tag)``.  Placement is a pure function of ``(seed, node
+  names, key)`` (md5, independent of ``PYTHONHASHSEED``), so every
+  process and every run agrees on ownership, and adding or removing a
+  node only remaps the ring-adjacent key ranges (~1/N of keys).
+* :class:`ShardNode` -- one ADA middleware instance plus its liveness
+  flag and load gauges.  Each node owns its *own* backends, block cache,
+  prefetcher, and retriever, so N nodes mean N independent device queues
+  and N private working sets.
+* :class:`ShardedADA` -- the front: exposes the same ``fetch`` /
+  ``fetch_chunks`` / ``fetch_merged`` / ``ingest_stream`` surface as a
+  single :class:`~repro.core.middleware.ADA` (``repro.serve`` and
+  ``repro.vmd`` run on top unmodified), routing every subset operation to
+  its owners.  The hot active subset (tag ``p`` by default) is replicated
+  to R nodes with read-any/primary-write semantics; reads pick the
+  least-loaded live replica (sticky per stream, so sequential scans keep
+  training one shard's stride detector); a dead node triggers failover to
+  a surviving replica, and an unreplicated subset whose only holder died
+  degrades exactly like a lost inactive tier
+  (:class:`~repro.errors.DegradedReadWarning`).
+
+Fault injection composes: each routed operation first consults the
+``shard:<node>`` site of the attached :class:`~repro.faults.FaultPlan`
+(the shard's "network/RPC device"), with transient errors retried by a
+front-side :class:`~repro.faults.Retrier` and permanent errors treated as
+a node crash.  Rebalancing (:meth:`ShardedADA.add_node` /
+:meth:`ShardedADA.drain_node`) migrates only the keys whose ownership
+changed, re-using the write path's coalesced chunk-run machinery and
+overlapping migration with serving -- reads keep routing to the old
+holders until each key's copy has landed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import warnings
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.ingest import IngestPipeline, IngestPipelineConfig
+from repro.core.labeler import LabelMap
+from repro.core.middleware import ADA, IngestReceipt, merge_decoded_subsets
+from repro.errors import (
+    ConfigurationError,
+    DegradedReadWarning,
+    FaultError,
+    LabelIndexError,
+    NodeDownError,
+    PermanentFaultError,
+)
+from repro.faults.plan import PERMANENT, FaultPlan, raise_fault
+from repro.faults.retry import Retrier, RetryPolicy, RetryStats
+from repro.fs.base import FileSystem, StoredObject
+from repro.fs.cache import DERIVED_SUBSET
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
+from repro.sim import AllOf, Simulator
+
+__all__ = ["HashRing", "ShardNode", "ShardedADA"]
+
+#: Virtual nodes per physical node; more vnodes = tighter balance.
+DEFAULT_VNODES = 256
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit hash (md5 prefix): identical across processes,
+    seeds, and ``PYTHONHASHSEED`` values."""
+    return int.from_bytes(
+        hashlib.md5(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    ``owners(key, n)`` walks clockwise from the key's hash collecting the
+    first ``n`` *distinct* nodes -- the replica set.  Adding a node
+    claims only the ranges immediately counter-clockwise of its vnodes;
+    every other key keeps its owners, which is the minimal-movement
+    property the rebalancer relies on.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[str] = (),
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ):
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self.seed = int(seed)
+        self._hashes: List[int] = []
+        self._ring: Dict[int, str] = {}
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @staticmethod
+    def key_for(logical: str, tag: str) -> str:
+        return f"{logical}#{tag}"
+
+    def _points(self, node: str) -> List[int]:
+        return [
+            _hash64(f"{self.seed}/{node}#{i}") for i in range(self.vnodes)
+        ]
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ConfigurationError(f"node {node!r} already on the ring")
+        for point in self._points(node):
+            if point in self._ring:  # 64-bit collision: effectively never
+                continue
+            self._ring[point] = node
+            bisect.insort(self._hashes, point)
+        self._nodes.append(node)
+        self._nodes.sort()
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ConfigurationError(f"node {node!r} not on the ring")
+        for point in self._points(node):
+            if self._ring.get(point) == node:
+                del self._ring[point]
+                index = bisect.bisect_left(self._hashes, point)
+                del self._hashes[index]
+        self._nodes.remove(node)
+
+    def owners(self, key: str, n: int = 1) -> List[str]:
+        """The first ``n`` distinct nodes clockwise of ``key``'s hash."""
+        if not self._nodes:
+            raise ConfigurationError("hash ring has no nodes")
+        n = min(int(n), len(self._nodes))
+        start = bisect.bisect_right(self._hashes, _hash64(key))
+        found: List[str] = []
+        total = len(self._hashes)
+        for step in range(total):
+            node = self._ring[self._hashes[(start + step) % total]]
+            if node not in found:
+                found.append(node)
+                if len(found) == n:
+                    break
+        return found
+
+    def primary(self, key: str) -> str:
+        return self.owners(key, 1)[0]
+
+
+class ShardNode:
+    """One ADA middleware node of a sharded deployment.
+
+    Wraps a full :class:`ADA` (its own backends, cache, prefetcher,
+    retriever -- all metric-labeled with the node name) plus the
+    liveness flag and load gauges the router keys on.  Death is
+    fail-stop *for routing*: a killed node receives no new requests;
+    requests already executing drain normally, which cannot change any
+    read's bytes -- replicas are byte-identical by construction.
+    """
+
+    def __init__(self, name: str, ada: ADA):
+        self.name = str(name)
+        self.ada = ada
+        self.alive = True
+        self.inflight = 0
+        self.served_bytes = 0
+
+    @classmethod
+    def build(
+        cls,
+        sim: Simulator,
+        name: str,
+        backends: Dict[str, FileSystem],
+        metrics: Optional[MetricsRegistry] = None,
+        **ada_kwargs,
+    ) -> "ShardNode":
+        """Construct the node's middleware with shard-labeled metrics."""
+        ada = ADA(
+            sim, backends, metrics=metrics, shard_id=str(name), **ada_kwargs
+        )
+        return cls(name, ada)
+
+    def kill(self) -> None:
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"ShardNode({self.name!r}, {state}, inflight={self.inflight})"
+
+
+class _ClusterIndex:
+    """Just enough of the ``PLFS`` surface for the serving layer.
+
+    ``ServeFront`` sizes admission costs from ``plfs.subset_records`` and
+    ``FaultPlan.attach_to`` walks ``plfs.backends``; both resolve against
+    the member nodes here.
+    """
+
+    def __init__(self, front: "ShardedADA"):
+        self._front = front
+
+    @property
+    def backends(self) -> Dict[str, FileSystem]:
+        merged: Dict[str, FileSystem] = {}
+        for node in self._front.nodes.values():
+            for name, fs in node.ada.plfs.backends.items():
+                merged[f"{node.name}/{name}"] = fs
+        return merged
+
+    @property
+    def metadata_backend(self) -> str:
+        raise ConfigurationError(
+            "a sharded deployment has per-node metadata backends"
+        )
+
+    def subset_records(self, logical: str, tag: str):
+        node = self._front._any_holder(logical, tag)
+        return node.ada.plfs.subset_records(logical, tag)
+
+    def subset_nbytes(self, logical: str, tag: str) -> int:
+        node = self._front._any_holder(logical, tag)
+        return node.ada.plfs.subset_nbytes(logical, tag)
+
+    def container_nbytes(self, logical: str) -> int:
+        return self._front.container_nbytes(logical)
+
+    def tags(self, logical: str) -> List[str]:
+        return self._front.tags(logical)
+
+
+class _PrefetchFanout:
+    """The front's ``prefetcher`` handle: broadcast wiring to every shard.
+
+    ``ServeFront`` assigns ``tenant_source``/``budget_source`` once on
+    ``ada.prefetcher``; this facade forwards the assignment to each
+    node's real prefetcher (and to nodes added later), so per-tenant
+    stride scoping and speculative-byte budgets keep working when the
+    middleware is sharded.
+    """
+
+    def __init__(self, front: "ShardedADA"):
+        self._front = front
+        self._tenant_source: Optional[Callable[[], Optional[str]]] = None
+        self._budget_source: Optional[Callable[[str], Optional[float]]] = None
+
+    def _node_prefetchers(self):
+        for node in self._front.nodes.values():
+            if node.ada.prefetcher is not None:
+                yield node.ada.prefetcher
+
+    @property
+    def tenant_source(self):
+        return self._tenant_source
+
+    @tenant_source.setter
+    def tenant_source(self, source) -> None:
+        self._tenant_source = source
+        for prefetcher in self._node_prefetchers():
+            prefetcher.tenant_source = source
+
+    @property
+    def budget_source(self):
+        return self._budget_source
+
+    @budget_source.setter
+    def budget_source(self, source) -> None:
+        self._budget_source = source
+        for prefetcher in self._node_prefetchers():
+            prefetcher.budget_source = source
+
+    def wire(self, node: ShardNode) -> None:
+        """Apply the stored wiring to a newly added node."""
+        prefetcher = node.ada.prefetcher
+        if prefetcher is None:
+            return
+        if self._tenant_source is not None and prefetcher.tenant_source is None:
+            prefetcher.tenant_source = self._tenant_source
+        if self._budget_source is not None and prefetcher.budget_source is None:
+            prefetcher.budget_source = self._budget_source
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for node in self._front.nodes.values():
+            if node.ada.prefetcher is not None:
+                out[node.name] = node.ada.prefetcher.stats()
+        return out
+
+
+class ShardedADA:
+    """N ADA middleware nodes behind one single-middleware surface.
+
+    Containers partition across nodes by consistent-hashing ``(logical,
+    tag)``; tags in ``replicated_tags`` (the hot active subset) land on
+    ``replicas`` nodes.  Reads route to the least-loaded live holder
+    (sticky per ``(logical, tag)`` stream), writes go to every holder
+    (primary first, so the primary's copy is never behind a replica's),
+    and ``fetch_merged`` scatter-gathers each tag from its own shard.
+
+    The surface mirrors :class:`ADA` closely enough that
+    :class:`~repro.serve.ServeFront` and
+    :class:`~repro.vmd.session.VMDSession` run unmodified on top.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[ShardNode],
+        replicas: int = 2,
+        replicated_tags: Sequence[str] = ("p",),
+        ring_vnodes: int = DEFAULT_VNODES,
+        ring_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        affinity_slack: int = 2,
+        affinity_bytes_slack: int = 256 * 1024,
+    ):
+        if not nodes:
+            raise ConfigurationError("ShardedADA needs at least one node")
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        self.sim = sim
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if getattr(sim, "metrics", None) is None:
+            sim.metrics = self.metrics
+        self.replicas = int(replicas)
+        self.replicated_tags = tuple(replicated_tags)
+        self.affinity_slack = int(affinity_slack)
+        self.affinity_bytes_slack = int(affinity_bytes_slack)
+        self.nodes: Dict[str, ShardNode] = {}
+        self.ring = HashRing(vnodes=ring_vnodes, seed=ring_seed)
+        #: Authoritative holder lists: ``(logical, tag) -> [node, ...]``
+        #: (primary first).  The ring proposes targets; this records where
+        #: data currently *is*, so reads keep resolving mid-migration.
+        self._placement: Dict[Tuple[str, str], List[str]] = {}
+        self._catalog: Dict[str, List[str]] = {}
+        self._label_maps: Dict[str, LabelMap] = {}
+        self._affinity: Dict[Tuple[str, str], str] = {}
+        #: Failure/recovery timeline: kill and failover events in sim time.
+        self.events: List[Dict[str, object]] = []
+        #: (logical, tag, dead primary) already logged as promoted, so the
+        #: timeline records each promotion once, not once per read.
+        self._promoted: set = set()
+        #: (logical, tag, reason) for every degraded fetch_all (ADA mirror).
+        self.degraded: List[Tuple[str, str, str]] = []
+        self.block_cache = None  # per-shard caches live inside the nodes
+        self.plfs = _ClusterIndex(self)
+        self.prefetcher = _PrefetchFanout(self)
+        self.fault_plan = fault_plan
+        self._retrier = (
+            Retrier(
+                sim,
+                policy=retry_policy,
+                stats=RetryStats(
+                    metrics=self.metrics, metric_labels={"shard": "front"}
+                ),
+            )
+            if fault_plan is not None
+            else None
+        )
+        self._counters = {
+            "routed": self.metrics.counter("cluster_routed_total"),
+            "failovers": self.metrics.counter("cluster_failovers_total"),
+            "kills": self.metrics.counter("cluster_node_kills_total"),
+            "degraded": self.metrics.counter("cluster_degraded_reads_total"),
+            "keys_moved": self.metrics.counter("cluster_keys_moved_total"),
+            "bytes_moved": self.metrics.counter("cluster_bytes_moved_total"),
+        }
+        self._ingest_pipeline: Optional[IngestPipeline] = None
+        for node in nodes:
+            self._register(node)
+        # The front does host-side preprocessing (categorize/encode)
+        # once; nodes only see already-encoded per-tag subsets.
+        first = next(iter(self.nodes.values()))
+        self.preprocessor = first.ada.preprocessor
+        self.policy = first.ada.policy
+
+    # -- membership -----------------------------------------------------------
+
+    def _register(self, node: ShardNode) -> None:
+        if node.name in self.nodes:
+            raise ConfigurationError(f"duplicate shard node {node.name!r}")
+        self.nodes[node.name] = node
+        self.ring.add(node.name)
+        self.metrics.gauge(
+            "shard_inflight",
+            fn=lambda n=node: n.inflight,
+            shard=node.name,
+        )
+        self.metrics.gauge(
+            "shard_alive", fn=lambda n=node: int(n.alive), shard=node.name
+        )
+        node._served_counter = self.metrics.counter(
+            "shard_served_bytes_total", shard=node.name
+        )
+        self.prefetcher.wire(node)
+
+    def node(self, name: str) -> ShardNode:
+        return self.nodes[name]
+
+    def alive_nodes(self) -> List[str]:
+        return sorted(n for n, node in self.nodes.items() if node.alive)
+
+    def kill_node(self, name: str) -> None:
+        """Fail-stop a node: no new requests route to it."""
+        node = self.nodes[name]
+        if not node.alive:
+            return
+        node.kill()
+        self._counters["kills"].inc()
+        # A fresh corpse gets a fresh promotion timeline (revive + re-kill).
+        self._promoted = {p for p in self._promoted if p[2] != name}
+        self.events.append({"t": self.sim.now, "event": "kill", "node": name})
+
+    # -- placement ------------------------------------------------------------
+
+    def replication_for(self, tag: str) -> int:
+        return self.replicas if tag in self.replicated_tags else 1
+
+    def targets(self, logical: str, tag: str) -> List[str]:
+        """Where the ring says ``(logical, tag)`` should live now."""
+        return self.ring.owners(
+            HashRing.key_for(logical, tag), self.replication_for(tag)
+        )
+
+    def holders(self, logical: str, tag: str) -> List[str]:
+        """Where ``(logical, tag)`` actually lives (primary first)."""
+        try:
+            return list(self._placement[(logical, tag)])
+        except KeyError:
+            raise LabelIndexError(
+                f"no placement for {logical!r}#{tag!r}"
+            ) from None
+
+    def _any_holder(self, logical: str, tag: str) -> ShardNode:
+        names = self.holders(logical, tag)
+        for name in names:
+            if self.nodes[name].alive:
+                return self.nodes[name]
+        # Every holder is down; metadata is still resolvable from the
+        # first holder's in-memory index (it just cannot serve reads).
+        return self.nodes[names[0]]
+
+    # -- routing core -----------------------------------------------------------
+
+    def _select(self, logical: str, tag: str, candidates: List[str]) -> str:
+        """Least-loaded live replica, sticky per (logical, tag) stream.
+
+        Stickiness matters for satellite efficiency, not correctness: a
+        sequential scan that alternated replicas every window would feed
+        each shard's stride detector a broken pattern and kill prefetch.
+        The stream switches replicas when its node died, fell
+        ``affinity_slack`` requests behind the least-loaded one, or has
+        served ``affinity_bytes_slack`` more bytes than it (the byte
+        bound stops a Zipf-hot stream from pinning its whole volume on
+        one replica -- stickiness is a tiebreak, not a hard pin).
+        """
+        def load(name: str) -> Tuple[int, int, str]:
+            node = self.nodes[name]
+            return (node.inflight, node.served_bytes, name)
+
+        best = min(candidates, key=load)
+        sticky = self._affinity.get((logical, tag))
+        if sticky in candidates:
+            snode, bnode = self.nodes[sticky], self.nodes[best]
+            if (
+                snode.inflight <= bnode.inflight + self.affinity_slack
+                and snode.served_bytes
+                <= bnode.served_bytes + self.affinity_bytes_slack
+            ):
+                return sticky
+        self._affinity[(logical, tag)] = best
+        return best
+
+    def _gate(self, node: ShardNode, op: str) -> Generator:
+        """Process: the shard's fault site -- pay latency, raise injections.
+
+        A permanent injection at a shard site means the *node* is gone
+        (fail-stop), not just one request: the node is killed and the
+        error surfaces as :class:`NodeDownError` for the router to fail
+        over.
+        """
+        if not node.alive:
+            raise NodeDownError(f"shard:{node.name} is down")
+        if self.fault_plan is None:
+            return
+        site = f"shard:{node.name}"
+        decision = self.fault_plan.decide(site, op)
+        if decision.latency_s:
+            yield self.sim.timeout(decision.latency_s)
+        if decision.error is not None:
+            if decision.error == PERMANENT:
+                self.kill_node(node.name)
+                raise NodeDownError(
+                    f"shard:{node.name}: injected node crash during {op}"
+                )
+            raise_fault(decision.error, site, op)
+
+    def _attempt(
+        self, node: ShardNode, op: str, factory: Callable[[ShardNode], Generator]
+    ) -> Generator:
+        yield from self._gate(node, op)
+        result = yield from factory(node)
+        return result
+
+    @staticmethod
+    def _result_nbytes(result) -> int:
+        if isinstance(result, StoredObject):
+            return int(result.nbytes)
+        if isinstance(result, (list, tuple)):
+            return int(
+                sum(
+                    o.nbytes
+                    for o in result
+                    if isinstance(o, StoredObject)
+                )
+            )
+        return 0
+
+    def _routed(
+        self,
+        logical: str,
+        tag: str,
+        op: str,
+        factory: Callable[[ShardNode], Generator],
+    ) -> Generator:
+        """Process: run ``factory(node)`` on the best live holder.
+
+        Transient shard faults retry on the *same* node (bounded by the
+        front's retry policy); a dead node -- killed out-of-band or by a
+        permanent injection -- fails over to the next live replica.
+        ``NodeDownError`` escapes only when every holder is gone.
+        """
+        candidates = self.holders(logical, tag)
+        tried: List[str] = []
+        with span(
+            self.sim, "cluster.route", logical=logical, tag=tag, op=op
+        ) as sp:
+            while True:
+                live = [
+                    name
+                    for name in candidates
+                    if self.nodes[name].alive and name not in tried
+                ]
+                if not live:
+                    raise NodeDownError(
+                        f"{logical}#{tag}: no live replica "
+                        f"(holders {candidates}, tried {tried})"
+                    )
+                name = self._select(logical, tag, live)
+                node = self.nodes[name]
+                self._counters["routed"].inc()
+                node.inflight += 1
+                try:
+                    if self._retrier is not None:
+                        result = yield from self._retrier.call(
+                            lambda n=node: self._attempt(n, op, factory),
+                            key=f"shard:{name}:{op}:{logical}#{tag}",
+                        )
+                    else:
+                        result = yield from self._attempt(node, op, factory)
+                except (NodeDownError, PermanentFaultError) as exc:
+                    tried.append(name)
+                    self._counters["failovers"].inc()
+                    self.events.append(
+                        {
+                            "t": self.sim.now,
+                            "event": "failover",
+                            "logical": logical,
+                            "tag": tag,
+                            "op": op,
+                            "from": name,
+                            "reason": str(exc),
+                        }
+                    )
+                    sp.tag(failover=len(tried))
+                    continue
+                finally:
+                    node.inflight -= 1
+                nbytes = self._result_nbytes(result)
+                node.served_bytes += nbytes
+                node._served_counter.inc(nbytes)
+                primary = candidates[0]
+                if name != primary and not self.nodes[primary].alive:
+                    # The key's primary died out-of-band; this read was
+                    # silently promoted to a replica.  Count every such
+                    # read, but put only the first per (key, corpse) on
+                    # the timeline -- that first success IS the recovery
+                    # point the chaos bench measures.
+                    self._counters["failovers"].inc()
+                    promo = (logical, tag, primary)
+                    if promo not in self._promoted:
+                        self._promoted.add(promo)
+                        self.events.append(
+                            {
+                                "t": self.sim.now,
+                                "event": "failover",
+                                "logical": logical,
+                                "tag": tag,
+                                "op": op,
+                                "from": primary,
+                                "to": name,
+                                "reason": "primary dead; replica promoted",
+                            }
+                        )
+                    sp.tag(promoted_from=primary)
+                sp.tag(node=name)
+                return result
+
+    # -- ingest (write) path -----------------------------------------------------
+
+    def _route_subsets(
+        self,
+        logical: str,
+        subsets: Dict[str, bytes],
+        store_op: str = "store",
+        coalesce: bool = True,
+    ) -> Generator:
+        """Process: write each tag's blob to every holder, in parallel.
+
+        Primary-write semantics: the holder list is ring order, primary
+        first; all copies are written before the ingest completes, so a
+        later failover can serve bit-identical bytes from any replica.
+        """
+        procs = []
+        for tag in sorted(subsets):
+            blob = subsets[tag]
+            key = (logical, tag)
+            if key not in self._placement:
+                self._placement[key] = self.targets(logical, tag)
+                tags = self._catalog.setdefault(logical, [])
+                if tag not in tags:
+                    tags.append(tag)
+                    tags.sort()
+            for name in self._placement[key]:
+                node = self.nodes[name]
+                if store_op == "store_run":
+                    gen = node.ada.determinator.store_run(
+                        logical, {tag: blob}, coalesce=coalesce
+                    )
+                else:
+                    gen = node.ada.determinator.store(logical, {tag: blob})
+                procs.append(
+                    self.sim.process(
+                        gen, name=f"shardwrite:{name}:{logical}#{tag}"
+                    )
+                )
+        if procs:
+            yield AllOf(self.sim, procs)
+
+    def _charge_preprocess(self, raw_nbytes: float) -> Generator:
+        """Process: the front's pre-processing CPU charge.
+
+        Charged on the primary holder's storage CPUs when it has any
+        (mirrors single-node ADA; a no-op for CPU-less deployments).
+        """
+        first = next(iter(self.nodes.values()))
+        yield from first.ada._charge_preprocess(raw_nbytes)
+
+    def ingest(
+        self, logical: str, pdb_text: str, trajectory_blob: bytes
+    ) -> Generator:
+        """Process: pre-process once, route each tagged subset to its shard."""
+        result = self.preprocessor.process(pdb_text, trajectory_blob)
+        yield from self._charge_preprocess(result.raw_nbytes)
+        self._label_maps[logical] = result.label_map
+        with span(self.sim, "cluster.ingest", logical=logical):
+            yield from self._route_subsets(logical, result.subsets)
+        return self._receipt(
+            logical,
+            result.label_map,
+            {tag: len(blob) for tag, blob in result.subsets.items()},
+            result.raw_nbytes,
+            result.compressed_nbytes,
+        )
+
+    def ingest_append(self, logical: str, trajectory_blob: bytes) -> Generator:
+        """Process: append a chunk; each tag lands on its existing holders."""
+        label_map = self.label_map(logical)
+        result = self.preprocessor.process_chunk(label_map, trajectory_blob)
+        yield from self._charge_preprocess(result.raw_nbytes)
+        with span(self.sim, "cluster.ingest_append", logical=logical):
+            yield from self._route_subsets(logical, result.subsets)
+        self._invalidate_derived(logical)
+        return self._receipt(
+            logical,
+            label_map,
+            {tag: len(blob) for tag, blob in result.subsets.items()},
+            result.raw_nbytes,
+            result.compressed_nbytes,
+        )
+
+    def ingest_stream(
+        self,
+        logical: str,
+        trajectory_blob: bytes,
+        pdb_text: Optional[str] = None,
+        config: Optional[IngestPipelineConfig] = None,
+    ) -> Generator:
+        """Process: windowed streaming ingest with sharded write-behind.
+
+        The front runs the same bounded producer/consumer pipeline as a
+        single middleware; the dispatch stage fans each window's tags out
+        to their holder shards as coalesced chunk runs.  Chunk order per
+        ``(node, logical, tag)`` follows window order, so every replica
+        stores byte-identical chunks.
+        """
+        config = config or IngestPipelineConfig()
+        if pdb_text is not None:
+            label_map = self.preprocessor.analyze_structure(pdb_text)
+            self._label_maps[logical] = label_map
+            appending = False
+        else:
+            label_map = self.label_map(logical)
+            appending = True
+        if (
+            self._ingest_pipeline is None
+            or self._ingest_pipeline.config != config
+        ):
+            self._ingest_pipeline = IngestPipeline(
+                self.sim, config, metrics=self.metrics,
+                metric_labels={"shard": "front"},
+            )
+        windows = self.preprocessor.process_windows(
+            label_map, trajectory_blob, config.window_frames
+        )
+        subset_sizes: Dict[str, int] = {}
+        raw_total = [0]
+
+        def dispatch_window(result) -> Generator:
+            raw_total[0] += result.raw_nbytes
+            for tag, blob in result.subsets.items():
+                subset_sizes[tag] = subset_sizes.get(tag, 0) + len(blob)
+            yield from self._route_subsets(
+                logical,
+                result.subsets,
+                store_op="store_run" if config.pipelined else "store",
+                coalesce=config.coalesce,
+            )
+            return []
+
+        with span(
+            self.sim, "cluster.ingest_stream",
+            logical=logical, pipelined=config.pipelined,
+        ):
+            yield from self._ingest_pipeline.run(
+                windows, self._charge_preprocess, dispatch_window
+            )
+        if appending:
+            self._invalidate_derived(logical)
+        return self._receipt(
+            logical, label_map, subset_sizes, raw_total[0],
+            len(trajectory_blob),
+        )
+
+    def _invalidate_derived(self, logical: str) -> None:
+        for tag in self._catalog.get(logical, ()):
+            for name in self._placement.get((logical, tag), ()):
+                cache = self.nodes[name].ada.block_cache
+                if cache is not None:
+                    cache.invalidate(logical=logical, chunk=DERIVED_SUBSET)
+
+    # -- fetch (read) path ---------------------------------------------------------
+
+    def fetch(self, logical: str, tag: str) -> Generator:
+        """Process: tag-selective read from the best live holder."""
+        obj = yield from self._routed(
+            logical, tag, "fetch",
+            lambda node: node.ada.fetch(logical, tag),
+        )
+        return obj
+
+    def fetch_chunks(self, logical: str, tag: str, chunks) -> Generator:
+        """Process: windowed chunk read; sticky routing keeps one shard's
+        prefetcher trained on the stream."""
+        chunks = list(chunks)
+        objs = yield from self._routed(
+            logical, tag, "fetch_chunks",
+            lambda node: node.ada.fetch_chunks(logical, tag, chunks),
+        )
+        return objs
+
+    def fetch_all(self, logical: str, allow_degraded: bool = True) -> Generator:
+        """Process: read every subset; degrade like a single middleware.
+
+        A subset whose every holder is gone degrades (warning + record)
+        when it is expendable -- unreplicated *and* living off the active
+        tier on its shard -- otherwise the failure raises.
+        """
+        tags = self.tags(logical)
+        with span(self.sim, "cluster.fetch_all", logical=logical) as sp:
+            procs = [
+                self.sim.process(
+                    self._guarded_fetch(logical, tag),
+                    name=f"clusterfetch:{logical}#{tag}",
+                )
+                for tag in tags
+            ]
+            results = yield AllOf(self.sim, procs)
+            objs: Dict[str, StoredObject] = {}
+            for tag, result in zip(tags, results):
+                if isinstance(result, FaultError):
+                    if allow_degraded and self._downgradable(logical, tag):
+                        self.degraded.append((logical, tag, str(result)))
+                        self._counters["degraded"].inc()
+                        sp.tag(degraded=True)
+                        warnings.warn(
+                            DegradedReadWarning(
+                                f"{logical}: subset {tag!r} unavailable "
+                                f"cluster-wide, loading without it ({result})"
+                            ),
+                            stacklevel=2,
+                        )
+                        continue
+                    raise result
+                objs[tag] = result
+            return objs
+
+    def _guarded_fetch(self, logical: str, tag: str) -> Generator:
+        try:
+            obj = yield from self.fetch(logical, tag)
+        except FaultError as exc:
+            return exc
+        return obj
+
+    def _downgradable(self, logical: str, tag: str) -> bool:
+        """Expendable = unreplicated (the cluster analog of 'inactive').
+
+        Replication *is* the cluster's active tier: the hot subsets in
+        ``replicated_tags`` have R copies precisely because a session
+        without them is useless, so their total loss always raises.  An
+        unreplicated tag is by policy the MISC data the paper allows a
+        degraded session to load without.
+        """
+        return tag not in self.replicated_tags
+
+    def fetch_merged(self, logical: str) -> Generator:
+        """Process: scatter-gather -- each tag reads from its own shard,
+        frames reassemble at the front."""
+        tags = self.tags(logical)
+        with span(self.sim, "cluster.fetch_merged", logical=logical):
+            procs = [
+                self.sim.process(
+                    self._routed(
+                        logical, tag, "fetch_merged",
+                        lambda node, t=tag: node.ada.determinator.retriever
+                        .retrieve_chunks(logical, t),
+                    ),
+                    name=f"clustermerge:{logical}#{tag}",
+                )
+                for tag in tags
+            ]
+            results = yield AllOf(self.sim, procs)
+        return merge_decoded_subsets(
+            logical,
+            self.label_map(logical),
+            dict(zip(tags, results)),
+            self.preprocessor.decompressor.decompress,
+        )
+
+    # -- metadata --------------------------------------------------------------------
+
+    def label_map(self, logical: str) -> LabelMap:
+        if logical not in self._label_maps:
+            raise LabelIndexError(f"no label map for {logical!r}")
+        return self._label_maps[logical]
+
+    def tags(self, logical: str) -> List[str]:
+        if logical not in self._catalog:
+            raise LabelIndexError(f"unknown dataset {logical!r}")
+        return list(self._catalog[logical])
+
+    def subset_nbytes(self, logical: str, tag: str) -> int:
+        return self._any_holder(logical, tag).ada.subset_nbytes(logical, tag)
+
+    def container_nbytes(self, logical: str) -> int:
+        return sum(
+            self.subset_nbytes(logical, tag) for tag in self.tags(logical)
+        )
+
+    def remove(self, logical: str) -> int:
+        """Delete a dataset from every holder; returns freed bytes."""
+        freed = 0
+        for tag in self._catalog.get(logical, []):
+            for name in self._placement.pop((logical, tag), []):
+                node = self.nodes[name]
+                freed += node.ada.plfs.delete_subset(logical, tag)
+                if node.ada.block_cache is not None:
+                    node.ada.block_cache.invalidate(logical=logical)
+        self._catalog.pop(logical, None)
+        self._label_maps.pop(logical, None)
+        return freed
+
+    # -- rebalancing -------------------------------------------------------------
+
+    def add_node(self, node: ShardNode) -> Generator:
+        """Process: join a node and migrate the keys it now owns.
+
+        Only ring-adjacent ranges move (consistent hashing's minimal-
+        movement property).  Each moved subset is read from a surviving
+        current holder and written to its new owner through the normal
+        coalesced chunk-run write path, *then* the placement entry flips
+        and the stale copy is dropped -- reads keep resolving against
+        the old holders for the whole transfer, so migration overlaps
+        serving.  Returns ``{"keys_moved": ..., "bytes_moved": ...}``.
+        """
+        self._register(node)
+        stats = yield from self._rebalance()
+        self.events.append(
+            {"t": self.sim.now, "event": "add_node", "node": node.name, **stats}
+        )
+        return stats
+
+    def drain_node(self, name: str) -> Generator:
+        """Process: migrate a node's keys away, then remove it from the ring.
+
+        The inverse of :meth:`add_node`: the ring drops the node first
+        (so targets no longer include it), every key it held migrates to
+        the new owner set, and the node leaves the deployment.
+        """
+        if name not in self.nodes:
+            raise ConfigurationError(f"unknown shard node {name!r}")
+        self.ring.remove(name)
+        stats = yield from self._rebalance(draining=name)
+        node = self.nodes.pop(name)
+        node.kill()
+        self.events.append(
+            {"t": self.sim.now, "event": "drain_node", "node": name, **stats}
+        )
+        return stats
+
+    def _rebalance(self, draining: Optional[str] = None) -> Generator:
+        """Process: converge placement onto the ring's current targets."""
+        keys_moved = 0
+        bytes_moved = 0
+        with span(self.sim, "cluster.rebalance", draining=draining or "") as sp:
+            for key in sorted(self._placement):
+                logical, tag = key
+                current = self._placement[key]
+                desired = self.targets(logical, tag)
+                additions = [n for n in desired if n not in current]
+                for dest_name in additions:
+                    moved = yield from self._migrate_subset(
+                        logical, tag, current, dest_name
+                    )
+                    bytes_moved += moved
+                if additions:
+                    keys_moved += 1
+                if current != desired:
+                    # Flip routing only after every new copy landed.
+                    self._placement[key] = list(desired)
+                    self._affinity.pop(key, None)
+                    for stale in current:
+                        if stale in desired or stale not in self.nodes:
+                            continue
+                        node = self.nodes[stale]
+                        node.ada.plfs.delete_subset(logical, tag)
+                        if node.ada.block_cache is not None:
+                            node.ada.block_cache.invalidate(logical=logical)
+            sp.tag(keys_moved=keys_moved, bytes_moved=bytes_moved)
+        self._counters["keys_moved"].inc(keys_moved)
+        self._counters["bytes_moved"].inc(bytes_moved)
+        return {"keys_moved": keys_moved, "bytes_moved": bytes_moved}
+
+    def _migrate_subset(
+        self,
+        logical: str,
+        tag: str,
+        sources: List[str],
+        dest_name: str,
+    ) -> Generator:
+        """Process: copy one subset to ``dest`` via the coalesced write path."""
+        source = None
+        for name in sources:
+            if name in self.nodes and self.nodes[name].alive:
+                source = self.nodes[name]
+                break
+        if source is None:
+            raise NodeDownError(
+                f"{logical}#{tag}: no live source to migrate from"
+            )
+        dest = self.nodes[dest_name]
+        objs = yield from source.ada.determinator.retriever.retrieve_chunks(
+            logical, tag
+        )
+        entries = [(tag, obj.data) for obj in objs]
+        yield from dest.ada.determinator.dispatcher.dispatch_run(
+            logical, entries, coalesce=True
+        )
+        return sum(obj.nbytes for obj in objs)
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def retry_stats(self):
+        """Front-side retry counters (shard-gate retries)."""
+        if self._retrier is not None:
+            return self._retrier.stats
+        first = next(iter(self.nodes.values()))
+        return first.ada.retry_stats
+
+    def node_loads(self) -> Dict[str, Dict[str, object]]:
+        return {
+            name: {
+                "alive": node.alive,
+                "inflight": node.inflight,
+                "served_bytes": node.served_bytes,
+            }
+            for name, node in sorted(self.nodes.items())
+        }
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "nodes": self.node_loads(),
+            "replicas": self.replicas,
+            "replicated_tags": list(self.replicated_tags),
+            "placement_keys": len(self._placement),
+            "failovers": int(self._counters["failovers"].value),
+            "kills": int(self._counters["kills"].value),
+            "keys_moved": int(self._counters["keys_moved"].value),
+            "bytes_moved": int(self._counters["bytes_moved"].value),
+            "degraded_reads": len(self.degraded),
+            "prefetch": self.prefetcher.stats(),
+        }
+
+    def fault_counters(self) -> Dict[str, object]:
+        counters: Dict[str, object] = {
+            "retry": self.retry_stats.as_dict(),
+            "degraded_reads": len(self.degraded),
+            "degraded": list(self.degraded),
+            "failovers": int(self._counters["failovers"].value),
+        }
+        if self.fault_plan is not None:
+            counters["injected"] = self.fault_plan.snapshot()
+            counters["injected_total"] = self.fault_plan.total()
+        return counters
+
+    def _receipt(
+        self,
+        logical: str,
+        label_map: LabelMap,
+        subset_sizes: Dict[str, int],
+        raw_nbytes: int,
+        compressed_nbytes: int,
+    ) -> IngestReceipt:
+        return IngestReceipt(
+            logical=logical,
+            label_map=label_map,
+            subset_sizes=subset_sizes,
+            backends={
+                tag: ",".join(self._placement.get((logical, tag), []))
+                for tag in subset_sizes
+            },
+            raw_nbytes=raw_nbytes,
+            compressed_nbytes=compressed_nbytes,
+        )

@@ -47,20 +47,24 @@ class IODeterminator:
         coalesce: bool = False,
         serial_requests: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ):
         self.sim = sim
         self.plfs = plfs
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metric_labels = dict(metric_labels or {})
         self.retry_stats = (
             retry_stats
             if retry_stats is not None
-            else RetryStats(metrics=self.metrics)
+            else RetryStats(metrics=self.metrics,
+                            metric_labels=self.metric_labels)
         )
         self.retrier = Retrier(sim, policy=retry_policy, stats=self.retry_stats)
         self.indexer = Indexer(sim, plfs, lookup_latency_s=indexer_latency_s)
         self.dispatcher = IODispatcher(
             sim, plfs, placement, spill_on_full=spill_on_full,
             retrier=self.retrier, metrics=self.metrics,
+            metric_labels=self.metric_labels,
         )
         kwargs = {}
         if retriever_request_size is not None:
@@ -68,7 +72,7 @@ class IODeterminator:
         self.retriever = IORetriever(
             sim, plfs, retrier=self.retrier, cache=block_cache,
             coalesce=coalesce, serial_requests=serial_requests,
-            metrics=self.metrics, **kwargs,
+            metrics=self.metrics, metric_labels=self.metric_labels, **kwargs,
         )
 
     # -- write path ---------------------------------------------------------

@@ -59,6 +59,7 @@ class IODispatcher:
         spill_on_full: bool = True,
         retrier: Optional[Retrier] = None,
         metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ):
         self.sim = sim
         self.plfs = plfs
@@ -67,19 +68,24 @@ class IODispatcher:
         self.retrier = retrier if retrier is not None else Retrier(sim)
         # Registry-backed accounting (mirrors the retriever): the views
         # above keep ``+=`` call sites working while the exporters see the
-        # same numbers.
+        # same numbers.  ``metric_labels`` keep per-dispatcher series
+        # distinct when several dispatchers (shards) share one registry.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metric_labels = dict(metric_labels or {})
+        extra = self.metric_labels
         self._metric_fields = {
-            "writes": self.metrics.counter("dispatcher_writes_total"),
-            "spill_count": self.metrics.counter("dispatcher_spills_total"),
+            "writes": self.metrics.counter("dispatcher_writes_total", **extra),
+            "spill_count": self.metrics.counter(
+                "dispatcher_spills_total", **extra
+            ),
             "coalesced_runs": self.metrics.counter(
-                "dispatcher_coalesced_runs_total"
+                "dispatcher_coalesced_runs_total", **extra
             ),  # chunk runs written as one span
             "coalesced_chunks": self.metrics.counter(
-                "dispatcher_coalesced_chunks_total"
+                "dispatcher_coalesced_chunks_total", **extra
             ),  # chunks that rode in those spans
             "requests_saved": self.metrics.counter(
-                "dispatcher_requests_saved_total"
+                "dispatcher_requests_saved_total", **extra
             ),  # backend requests coalescing removed
         }
         #: tag -> dispatcher_bytes_total counter (created on first dispatch).
@@ -103,7 +109,9 @@ class IODispatcher:
     def _count_bytes(self, tag: str, nbytes: int) -> None:
         counter = self._bytes_counters.get(tag)
         if counter is None:
-            counter = self.metrics.counter("dispatcher_bytes_total", tag=tag)
+            counter = self.metrics.counter(
+                "dispatcher_bytes_total", tag=tag, **self.metric_labels
+            )
             self._bytes_counters[tag] = counter
         counter.inc(int(nbytes))
 

@@ -105,21 +105,26 @@ class IngestPipeline:
         sim: Simulator,
         config: Optional[IngestPipelineConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ):
         self.sim = sim
         self.config = config or IngestPipelineConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metric_labels = dict(metric_labels or {})
+        extra = self.metric_labels
         self._metric_fields = {
-            "windows": self.metrics.counter("ingest_windows_total"),
+            "windows": self.metrics.counter("ingest_windows_total", **extra),
             "backpressure_waits": self.metrics.counter(
-                "ingest_backpressure_waits_total"
+                "ingest_backpressure_waits_total", **extra
             ),  # producer stalls on a full queue
             "backpressure_seconds": self.metrics.counter(
-                "ingest_backpressure_seconds_total"
+                "ingest_backpressure_seconds_total", **extra
             ),  # simulated seconds spent stalled
-            "cpu_seconds": self.metrics.counter("ingest_cpu_seconds_total"),
+            "cpu_seconds": self.metrics.counter(
+                "ingest_cpu_seconds_total", **extra
+            ),
             "dispatch_seconds": self.metrics.counter(
-                "ingest_dispatch_seconds_total"
+                "ingest_dispatch_seconds_total", **extra
             ),
         }
         #: Windows currently buffered: queued plus the one in dispatch.
@@ -127,13 +132,15 @@ class IngestPipeline:
         self._buffered_bytes = 0
         self.queue_depth_peak = 0
         self.buffered_bytes_peak = 0
-        self.metrics.gauge("ingest_queue_depth", fn=lambda: self._held)
+        self.metrics.gauge("ingest_queue_depth", fn=lambda: self._held, **extra)
         self.metrics.gauge(
-            "ingest_buffered_bytes", fn=lambda: self._buffered_bytes
+            "ingest_buffered_bytes", fn=lambda: self._buffered_bytes, **extra
         )
-        self._peak_depth_gauge = self.metrics.gauge("ingest_queue_depth_peak")
+        self._peak_depth_gauge = self.metrics.gauge(
+            "ingest_queue_depth_peak", **extra
+        )
         self._peak_bytes_gauge = self.metrics.gauge(
-            "ingest_buffered_bytes_peak"
+            "ingest_buffered_bytes_peak", **extra
         )
         self._space_event: Optional[Event] = None
         self._data_event: Optional[Event] = None

@@ -38,7 +38,7 @@ __all__ = ["Prefetcher"]
 
 
 class _StreamState:
-    """Per-(tenant, logical, tag) access-pattern tracker."""
+    """Per-(shard, tenant, logical, tag) access-pattern tracker."""
 
     __slots__ = ("last_start", "last_len", "stride", "confirmed")
 
@@ -95,6 +95,7 @@ class Prefetcher:
         metrics: Optional[MetricsRegistry] = None,
         tenant_source: Optional[Callable[[], Optional[str]]] = None,
         budget_source: Optional[Callable[[str], Optional[float]]] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ):
         if not 0.0 < high_watermark <= 1.0:
             raise ConfigurationError(
@@ -114,8 +115,15 @@ class Prefetcher:
         # to None, collapsing to the original single-tenant behavior.
         self.tenant_source = tenant_source
         self.budget_source = budget_source
+        # Sharded deployments label each prefetcher (``{"shard": name}``):
+        # the shard id becomes part of every stream key, so one logical
+        # scan that touches datasets owned by different shards tracks an
+        # independent stride per shard instead of looking like a broken
+        # pattern to a single global detector.
+        self.metric_labels = dict(metric_labels or {})
+        self.shard_id: Optional[str] = self.metric_labels.get("shard")
         self._streams: Dict[
-            Tuple[Optional[str], str, str], _StreamState
+            Tuple[Optional[str], Optional[str], str, str], _StreamState
         ] = {}
         self._inflight: Dict[Optional[str], list] = {}
         self._last_degradation: Optional[float] = None
@@ -124,7 +132,9 @@ class Prefetcher:
             metrics if metrics is not None else retriever.metrics
         )
         self._metric_fields = {
-            field: self.metrics.counter(f"prefetch_{field}_total")
+            field: self.metrics.counter(
+                f"prefetch_{field}_total", **self.metric_labels
+            )
             for field in self.FIELDS
         }
 
@@ -144,7 +154,7 @@ class Prefetcher:
         tenant = self.tenant_source() if self.tenant_source is not None else None
         start, span = min(chunks), len(chunks)
         state = self._streams.setdefault(
-            (tenant, logical, tag), _StreamState()
+            (self.shard_id, tenant, logical, tag), _StreamState()
         )
         self._advance_pattern(state, start, span)
         if not state.confirmed:

@@ -80,6 +80,7 @@ class IORetriever:
         coalesce: bool = False,
         serial_requests: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ):
         self.sim = sim
         self.plfs = plfs
@@ -90,37 +91,45 @@ class IORetriever:
         self.serial_requests = serial_requests
         # Registry-backed accounting: the traffic counters above are
         # views, so ``coalesce_stats()`` and ``ADA.stats()`` read exactly
-        # what the Prometheus/JSON exporters see.
+        # what the Prometheus/JSON exporters see.  ``metric_labels``
+        # (e.g. ``{"shard": name}``) keep per-retriever series distinct
+        # when several retrievers share one registry.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metric_labels = dict(metric_labels or {})
+        extra = self.metric_labels
         self._metric_fields = {
-            "retrieved_bytes": self.metrics.counter("retriever_bytes_total"),
+            "retrieved_bytes": self.metrics.counter(
+                "retriever_bytes_total", **extra
+            ),
             "cache_served_bytes": self.metrics.counter(
-                "retriever_cache_served_bytes_total"
+                "retriever_cache_served_bytes_total", **extra
             ),
             "coalesced_runs": self.metrics.counter(
-                "retriever_coalesced_runs_total"
+                "retriever_coalesced_runs_total", **extra
             ),  # spans issued with > 1 chunk
             "coalesced_chunks": self.metrics.counter(
-                "retriever_coalesced_chunks_total"
+                "retriever_coalesced_chunks_total", **extra
             ),  # chunks that rode in those spans
             "requests_saved": self.metrics.counter(
-                "retriever_requests_saved_total"
+                "retriever_requests_saved_total", **extra
             ),  # backend requests coalescing removed
             "prefetched_chunks": self.metrics.counter(
-                "retriever_prefetched_chunks_total"
+                "retriever_prefetched_chunks_total", **extra
             ),  # chunks admitted speculatively
             "dedup_waits": self.metrics.counter(
-                "retriever_dedup_waits_total"
+                "retriever_dedup_waits_total", **extra
             ),  # demand reads that joined an in-flight read
         }
         self._run_bytes = self.metrics.histogram(
-            "retriever_run_bytes", bounds=SIZE_BUCKETS
+            "retriever_run_bytes", bounds=SIZE_BUCKETS, **extra
         )
         #: Chunk reads currently in flight, so a demand read overlapping a
         #: prefetch (or a concurrent consumer) joins the existing read
         #: instead of double-issuing it on the device queue.
         self._inflight: Dict[BlockKey, Process] = {}
-        self.metrics.gauge("retriever_inflight_reads", fn=self._inflight_live)
+        self.metrics.gauge(
+            "retriever_inflight_reads", fn=self._inflight_live, **extra
+        )
 
     def _inflight_live(self) -> int:
         return sum(1 for p in self._inflight.values() if p.is_alive)

@@ -140,6 +140,14 @@ class RetryExhaustedError(PermanentFaultError):
     ``__cause__``.  Permanent from the caller's point of view."""
 
 
+class NodeDownError(PermanentFaultError):
+    """An ADA middleware node is dead (fail-stop).
+
+    Raised by the sharded front when a routed operation targets a killed
+    node; the router catches it and fails over to a surviving replica, so
+    callers only ever see it when *every* holder of a subset is gone."""
+
+
 class DegradedReadWarning(UserWarning):
     """A read completed without an inactive-tier subset (documented
     degradation, paper's MISC data): surfaced, never silent."""

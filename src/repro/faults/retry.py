@@ -140,10 +140,17 @@ class RetryStats:
     exhausted = metric_view("_metrics_by_field", key="exhausted")
     backoff_s = metric_view("_metrics_by_field", key="backoff_s", cast=float)
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metric_labels = dict(metric_labels or {})
         self._metrics_by_field = {
-            field: self.metrics.counter(f"retry_{field}_total")
+            field: self.metrics.counter(
+                f"retry_{field}_total", **self.metric_labels
+            )
             for field in self.FIELDS
         }
 

@@ -206,6 +206,7 @@ class BlockCache:
         l2_bandwidth: float = gbps(2.0),
         l2_latency_s: float = 80e-6,
         metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ):
         if l1_capacity_bytes <= 0:
             raise ConfigurationError("block cache L1 capacity must be positive")
@@ -223,34 +224,58 @@ class BlockCache:
         self.l2_latency_s = float(l2_latency_s)
         self._l1: "OrderedDict[BlockKey, CachedBlock]" = OrderedDict()
         self._l2: "OrderedDict[BlockKey, CachedBlock]" = OrderedDict()
+        self.metric_labels: Dict[str, str] = dict(metric_labels or {})
         # Hit/eviction accounting is registry-backed (the attributes above
         # are views); occupancy surfaces as derived gauges so exporters
         # always see the live value.
         self.bind_metrics(metrics if metrics is not None else MetricsRegistry())
 
-    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+    def bind_metrics(
+        self,
+        metrics: MetricsRegistry,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
         """(Re)home this cache's counters and gauges in ``metrics``.
 
         A cache is usually constructed standalone and handed to ``ADA``,
         which then rebinds it into the middleware's shared registry;
-        counts accumulated so far carry over.
+        counts accumulated so far carry over.  ``labels`` (merged over any
+        construction-time ``metric_labels``) distinguish this cache's
+        series when several caches share one registry -- a sharded
+        deployment binds each shard's cache with ``{"shard": name}``.
+        Without them, same-named counters from two caches would be the
+        *same* registry object (silently merged series) and the derived
+        occupancy gauges would track only the last cache bound.
         """
         previous = getattr(self, "_metric_fields", None)
+        if labels:
+            self.metric_labels.update({k: str(v) for k, v in labels.items()})
+        extra = self.metric_labels
         self.metrics = metrics
         self._metric_fields = {
-            "hits_l1": self.metrics.counter("block_cache_hits_total", tier="l1"),
-            "hits_l2": self.metrics.counter("block_cache_hits_total", tier="l2"),
-            "misses": self.metrics.counter("block_cache_misses_total"),
-            "demotions": self.metrics.counter("block_cache_demotions_total"),
-            "evictions": self.metrics.counter("block_cache_evictions_total"),
+            "hits_l1": self.metrics.counter(
+                "block_cache_hits_total", tier="l1", **extra
+            ),
+            "hits_l2": self.metrics.counter(
+                "block_cache_hits_total", tier="l2", **extra
+            ),
+            "misses": self.metrics.counter(
+                "block_cache_misses_total", **extra
+            ),
+            "demotions": self.metrics.counter(
+                "block_cache_demotions_total", **extra
+            ),
+            "evictions": self.metrics.counter(
+                "block_cache_evictions_total", **extra
+            ),
             "invalidations": self.metrics.counter(
-                "block_cache_invalidations_total"
+                "block_cache_invalidations_total", **extra
             ),
             "prefetch_hits": self.metrics.counter(
-                "block_cache_prefetch_hits_total"
+                "block_cache_prefetch_hits_total", **extra
             ),
             "prefetch_wasted": self.metrics.counter(
-                "block_cache_prefetch_wasted_total"
+                "block_cache_prefetch_wasted_total", **extra
             ),
         }
         if previous is not None:
@@ -260,12 +285,12 @@ class BlockCache:
                 if field in self._metric_fields and metric.value:
                     self._metric_fields[field].set(metric.value)
         self.metrics.gauge(
-            "block_cache_bytes", fn=lambda: self.l1_bytes, tier="l1"
+            "block_cache_bytes", fn=lambda: self.l1_bytes, tier="l1", **extra
         )
         self.metrics.gauge(
-            "block_cache_bytes", fn=lambda: self.l2_bytes, tier="l2"
+            "block_cache_bytes", fn=lambda: self.l2_bytes, tier="l2", **extra
         )
-        self.metrics.gauge("block_cache_pressure", fn=self.pressure)
+        self.metrics.gauge("block_cache_pressure", fn=self.pressure, **extra)
 
     # -- capacity accounting ----------------------------------------------
 

@@ -444,6 +444,32 @@ class PLFS:
             del self._chunk_counters[key]
         return freed
 
+    def delete_subset(self, logical: str, tag: str) -> int:
+        """Remove one tagged subset's chunks from a container; returns
+        freed bytes.  Synchronous, like :meth:`delete_container`.
+
+        The rebalancer's cleanup primitive: after a subset migrates to
+        another node, the source drops just that ``(logical, tag)`` --
+        the rest of the container (and its index) stays serviceable.
+        Deleting the last subset removes the container entirely.
+        """
+        records = self.container_index(logical)
+        keep = [r for r in records if r.tag != tag]
+        if len(keep) == len(records):
+            return 0
+        if not keep:
+            return self.delete_container(logical)
+        freed = 0
+        for record in records:
+            if record.tag != tag:
+                continue
+            backend = self.backends[record.backend]
+            if backend.exists(record.path):
+                freed += backend.delete(record.path)
+        self._indexes[logical] = keep
+        self._chunk_counters.pop((logical, tag), None)
+        return freed
+
     def _flush_index(self, logical: str) -> Generator:
         """Persist the index object to the metadata backend."""
         payload = json.dumps(

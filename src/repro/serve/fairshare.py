@@ -97,20 +97,26 @@ class TenantBlockCache(BlockCache):
 
     # -- metrics ------------------------------------------------------------
 
-    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+    def bind_metrics(
+        self,
+        metrics: MetricsRegistry,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
         previous = getattr(self, "_metric_fields", None)
-        super().bind_metrics(metrics)
+        super().bind_metrics(metrics, labels=labels)
+        extra = self.metric_labels
         for name, field in (
             ("block_cache_cross_tenant_hits_total", "cross_tenant_hits"),
             ("block_cache_quota_evictions_total", "quota_evictions"),
         ):
-            self._metric_fields[field] = metrics.counter(name)
+            self._metric_fields[field] = metrics.counter(name, **extra)
             if previous is not None and field in previous:
                 if previous[field].value:
                     self._metric_fields[field].set(previous[field].value)
         metrics.gauge(
             "block_cache_shared_pool_bytes",
             fn=lambda: self._l1_charged.get(None, 0.0),
+            **extra,
         )
 
     @property

@@ -1,0 +1,131 @@
+"""Consistent-hash ring properties: balance, minimal movement, determinism.
+
+The ring is the cluster's placement oracle, so these are load-bearing
+invariants, not style points:
+
+* **balance** -- with 256 vnodes per node, no node's key share deviates
+  from the mean by more than 15% at 8 nodes;
+* **minimal movement** -- adding or removing one node reassigns only the
+  ring-adjacent ranges: about ``1/N`` of primaries, never a reshuffle;
+* **determinism** -- placement hashes with md5, not ``hash()``, so two
+  processes with different ``PYTHONHASHSEED`` values agree byte-for-byte.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster.shard import HashRing
+
+pytestmark = pytest.mark.cluster
+
+NODES_8 = [f"node{i}" for i in range(8)]
+
+
+def _keys(n=1024):
+    return [
+        HashRing.key_for(f"traj{i}.xtc", tag)
+        for i in range(n // 2)
+        for tag in ("p", "w")
+    ]
+
+
+def test_balance_within_15_percent_across_8_nodes():
+    ring = HashRing(NODES_8)
+    counts = {name: 0 for name in NODES_8}
+    keys = _keys(1024)
+    for key in keys:
+        counts[ring.primary(key)] += 1
+    mean = len(keys) / len(NODES_8)
+    for name, count in counts.items():
+        deviation = abs(count - mean) / mean
+        assert deviation <= 0.15, f"{name}: {count} vs mean {mean:.1f}"
+
+
+def test_replica_owners_are_distinct_nodes():
+    ring = HashRing(NODES_8)
+    for key in _keys(128):
+        owners = ring.owners(key, 3)
+        assert len(owners) == len(set(owners)) == 3
+        assert owners[0] == ring.primary(key)
+
+
+def test_owners_clamped_to_ring_size():
+    ring = HashRing(["a", "b"])
+    assert sorted(ring.owners("k", 5)) == ["a", "b"]
+
+
+def test_add_node_moves_about_one_nth_of_primaries():
+    keys = _keys(2048)
+    ring = HashRing(NODES_8)
+    before = {key: ring.primary(key) for key in keys}
+    ring.add("node8")
+    moved = sum(1 for key in keys if ring.primary(key) != before[key])
+    fraction = moved / len(keys)
+    # Ideal is 1/9; allow up to 1.5x for vnode placement variance.
+    assert 0 < fraction <= 1.5 / 9, f"moved {fraction:.1%}"
+    # Every move lands on the new node -- old nodes never trade keys.
+    for key in keys:
+        if ring.primary(key) != before[key]:
+            assert ring.primary(key) == "node8"
+
+
+def test_remove_node_moves_only_its_keys():
+    keys = _keys(2048)
+    ring = HashRing(NODES_8)
+    before = {key: ring.primary(key) for key in keys}
+    ring.remove("node3")
+    for key in keys:
+        if before[key] == "node3":
+            assert ring.primary(key) != "node3"
+        else:
+            assert ring.primary(key) == before[key]
+
+
+def test_add_then_remove_is_identity():
+    keys = _keys(512)
+    ring = HashRing(NODES_8)
+    before = {key: ring.owners(key, 2) for key in keys}
+    ring.add("node8")
+    ring.remove("node8")
+    assert {key: ring.owners(key, 2) for key in keys} == before
+
+
+def test_placement_ignores_insertion_order():
+    forward = HashRing(NODES_8)
+    backward = HashRing(reversed(NODES_8))
+    for key in _keys(256):
+        assert forward.owners(key, 2) == backward.owners(key, 2)
+
+
+def test_seed_changes_placement():
+    keys = _keys(512)
+    a = HashRing(NODES_8, seed=0)
+    b = HashRing(NODES_8, seed=1)
+    assert any(a.primary(k) != b.primary(k) for k in keys)
+
+
+def test_placement_is_stable_across_processes():
+    """md5 placement must not vary with PYTHONHASHSEED."""
+    script = (
+        "from repro.cluster.shard import HashRing\n"
+        "ring = HashRing([f'node{i}' for i in range(8)])\n"
+        "keys = [HashRing.key_for(f'traj{i}.xtc', 'p') for i in range(64)]\n"
+        "print(';'.join(ring.primary(k) for k in keys))\n"
+    )
+    outputs = set()
+    for hashseed in ("0", "1", "12345"):
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": hashseed},
+            check=True,
+        )
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, "placement depends on the process hash seed"
+    # And the in-process ring agrees with the subprocesses.
+    ring = HashRing(NODES_8)
+    keys = [HashRing.key_for(f"traj{i}.xtc", "p") for i in range(64)]
+    assert ";".join(ring.primary(k) for k in keys) == outputs.pop()

@@ -252,8 +252,8 @@ def test_stride_detection_survives_cross_tenant_interleaving():
         for tenant in ("a", "b"):
             current["tenant"] = tenant
             prefetcher.observe(LOGICAL, "p", window)
-    assert ("a", LOGICAL, "p") in prefetcher._streams
-    assert ("b", LOGICAL, "p") in prefetcher._streams
+    assert (None, "a", LOGICAL, "p") in prefetcher._streams
+    assert (None, "b", LOGICAL, "p") in prefetcher._streams
     assert prefetcher.issued == 2  # both confirmed on their third window
     assert prefetcher.suppressed_inflight == 0
     sim.run()
