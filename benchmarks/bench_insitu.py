@@ -1,0 +1,39 @@
+"""In-situ analysis benchmark: fused streaming analysis vs. analyze-later.
+
+Ingests one GOF-chunked trajectory stream three ways -- plain pipelined,
+fused with the :class:`InSituAnalysis` hook riding the third pipeline
+stage, and the post-hoc ingest-then-readback-then-batch schedule -- and
+records the canonical ``benchmarks/results/BENCH_insitu.json``.
+Durations are simulated seconds, so the gates (fused overhead < 15 %
+over plain pipelined ingest, time-to-results ahead of post hoc) hold
+deterministically; the fused online results must be exact against the
+batch operators on the read-back trajectory, and fused vs. plain ingest
+must leave bit-identical stores.
+"""
+
+import json
+
+from repro.harness.benchinsitu import (
+    FLOORS,
+    render_insitu_bench,
+    run_insitu_bench,
+)
+
+
+def test_bench_insitu_json_floors(artifact_sink):
+    """Emit BENCH_insitu.json and hold the in-situ fusion floors."""
+    result = run_insitu_bench()
+    artifact_sink("BENCH_insitu.json", json.dumps(result, indent=2))
+    artifact_sink("BENCH_insitu.txt", render_insitu_bench(result))
+    assert result["schema_version"] == 1
+    # Analysis is a read-side passenger: the stored bytes never change.
+    assert result["identical"], "fused analysis changed the stored bytes"
+    # Online == batch: exact frame operators, stats within tolerance.
+    assert result["equivalent"], "online results diverged from batch"
+    # The fusion gate: analysis overlaps ingest instead of serializing.
+    assert result["fused_overhead_frac"] < FLOORS["fused_overhead_max_frac"]
+    assert (
+        result["speedup_vs_post_hoc"] >= FLOORS["vs_post_hoc_min_speedup"]
+    )
+    assert result["scenarios"]["fused"]["overlap_ratio"] >= 0.5
+    assert result["pass"]

@@ -12,7 +12,17 @@ from repro.analysis.align import kabsch_rotation, superpose
 from repro.analysis.contacts import (
     contact_count,
     contact_map,
+    frame_contact_counts,
     native_contact_fraction,
+)
+from repro.analysis.online import (
+    STATS_ATOL,
+    STATS_RTOL,
+    InSituAnalysis,
+    OnlineContacts,
+    OnlineObservables,
+    OnlineRMSD,
+    OnlineStats,
 )
 from repro.analysis.observables import (
     center_of_mass,
@@ -30,7 +40,15 @@ from repro.analysis.timeseries import (
 
 __all__ = [
     "BlockResult",
+    "InSituAnalysis",
+    "OnlineContacts",
+    "OnlineObservables",
+    "OnlineRMSD",
+    "OnlineStats",
+    "STATS_ATOL",
+    "STATS_RTOL",
     "autocorrelation",
+    "frame_contact_counts",
     "block_average",
     "integrated_act",
     "center_of_mass",

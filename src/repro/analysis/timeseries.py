@@ -9,6 +9,7 @@ decide whether a production phase is long enough.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -17,11 +18,15 @@ from repro.errors import TopologyError
 __all__ = ["autocorrelation", "integrated_act", "block_average", "BlockResult"]
 
 
-def autocorrelation(series: np.ndarray, max_lag: int = None) -> np.ndarray:
+def autocorrelation(
+    series: np.ndarray, max_lag: Optional[int] = None
+) -> np.ndarray:
     """Normalized autocorrelation function C(tau), C(0) = 1.
 
     FFT-free direct estimator; adequate for the series lengths MD
-    observables produce per study.
+    observables produce per study.  ``max_lag`` must be a non-negative
+    integer (clamped to ``len(series) - 1``); ``None`` means half the
+    series length.
     """
     x = np.asarray(series, dtype=np.float64)
     if x.ndim != 1 or x.size < 2:
@@ -29,6 +34,17 @@ def autocorrelation(series: np.ndarray, max_lag: int = None) -> np.ndarray:
     n = x.size
     if max_lag is None:
         max_lag = n // 2
+    else:
+        if not isinstance(max_lag, (int, np.integer)) or isinstance(
+            max_lag, bool
+        ):
+            raise TopologyError(
+                f"max_lag must be a non-negative int, got {max_lag!r}"
+            )
+        if max_lag < 0:
+            raise TopologyError(
+                f"max_lag must be a non-negative int, got {max_lag}"
+            )
     max_lag = min(max_lag, n - 1)
     x = x - x.mean()
     var = float((x * x).mean())

@@ -178,8 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         choices=sorted(GENERATORS)
         + ["all", "bench-codec", "bench-cluster", "bench-ingest",
-           "bench-pipeline", "bench-serve", "chaos", "metrics", "trace",
-           "list"],
+           "bench-insitu", "bench-pipeline", "bench-serve", "chaos",
+           "metrics", "trace", "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -225,10 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="(bench-pipeline) chunks per playback window")
     ingest = parser.add_argument_group("bench-ingest options")
     ingest.add_argument("--window-frames", type=int, default=8,
-                        help="(bench-ingest) frames per ingest window")
+                        help="(bench-ingest/bench-insitu) frames per "
+                             "ingest window")
     ingest.add_argument("--depth", type=int, default=4,
-                        help="(bench-ingest) write-behind queue depth "
-                             "in windows")
+                        help="(bench-ingest/bench-insitu) write-behind "
+                             "queue depth in windows")
     serve = parser.add_argument_group("bench-serve options")
     serve.add_argument("--tenants", type=int, default=8,
                        help="(bench-serve) concurrent tenant sessions")
@@ -297,6 +298,9 @@ BENCH_PIPELINE_JSON = pathlib.Path("benchmarks/results/BENCH_pipeline.json")
 #: Canonical location of the bench-ingest JSON record.
 BENCH_INGEST_JSON = pathlib.Path("benchmarks/results/BENCH_ingest.json")
 
+#: Canonical location of the bench-insitu JSON record.
+BENCH_INSITU_JSON = pathlib.Path("benchmarks/results/BENCH_insitu.json")
+
 #: Canonical location of the bench-codec JSON record.
 BENCH_CODEC_JSON = pathlib.Path("benchmarks/results/BENCH_codec.json")
 
@@ -340,6 +344,41 @@ def _run_bench_ingest(args) -> int:
             print(text)
     if not result["pass"]:
         print("repro: bench-ingest below its floors", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_bench_insitu(args) -> int:
+    from repro.harness.benchinsitu import (
+        render_insitu_bench,
+        run_insitu_bench,
+    )
+
+    result = run_insitu_bench(
+        natoms=args.natoms if args.natoms is not None else 1000,
+        nframes=args.nframes if args.nframes is not None else 160,
+        keyframe_interval=(
+            args.keyframe_interval
+            if args.keyframe_interval is not None else 8
+        ),
+        window_frames=args.window_frames,
+        depth=args.depth,
+        seed=args.seed if args.seed else 7,
+    )
+    if args.json:
+        path = args.output or BENCH_INSITU_JSON
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        text = render_insitu_bench(result)
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    if not result["pass"]:
+        print("repro: bench-insitu below its floors", file=sys.stderr)
         return 1
     return 0
 
@@ -562,6 +601,7 @@ def main(argv=None) -> int:
         print("bench-codec")
         print("bench-cluster")
         print("bench-ingest")
+        print("bench-insitu")
         print("bench-pipeline")
         print("bench-serve")
         print("chaos")
@@ -574,6 +614,8 @@ def main(argv=None) -> int:
         return _run_bench_cluster(args)
     if args.target == "bench-ingest":
         return _run_bench_ingest(args)
+    if args.target == "bench-insitu":
+        return _run_bench_insitu(args)
     if args.target == "bench-pipeline":
         return _run_bench_pipeline(args)
     if args.target == "bench-serve":

@@ -71,6 +71,10 @@ class ComputeNode:
         self.nic = nic
         # Single-threaded data path: one pipeline slot regardless of cores.
         self.pipeline = Resource(sim, capacity=1, name=f"{name}:cpu")
+        # In-situ analysis slot: the fused ingest stage charges its pass
+        # here, on a spare core, so analyzing window k overlaps the data
+        # path's decompress/categorize of window k+1 on the same node.
+        self.analysis_pipeline = Resource(sim, capacity=1, name=f"{name}:analysis")
         self.cpu_busy = BusyTracker(f"{name}:cpu")
         self.io_busy = BusyTracker(f"{name}:io")
 
@@ -95,6 +99,21 @@ class ComputeNode:
     def render(self, nbytes: float) -> Generator:
         """Process: build 3D geometry from active data (phase 2)."""
         yield from self.cpu_work(nbytes, self.cpu.render_rate, "render")
+
+    def analyze(self, nbytes: float) -> Generator:
+        """Process: in-situ analysis pass over decompressed window data.
+
+        Charged at the scan rate (a streaming pass over the decoded
+        coordinates) but on the *analysis* slot, not the data-path
+        pipeline, so a fused ingest overlaps it with pre-processing.
+        """
+        if self.cpu.scan_rate <= 0:
+            raise ConfigurationError(f"{self.name}: non-positive rate for analyze")
+        with self.analysis_pipeline.request() as req:
+            yield req
+            start = self.sim.now
+            yield self.sim.timeout(nbytes / self.cpu.scan_rate)
+            self.cpu_busy.record(start, self.sim.now, "analyze")
 
     def record_io(self, start: float, end: float, label: str = "io") -> None:
         """Note an I/O window for the power model."""

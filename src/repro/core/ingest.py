@@ -1,34 +1,47 @@
 """The streaming ingest pipeline: windowed pre-processing overlapped with
-write-behind dispatch.
+write-behind dispatch and (optionally) fused in-situ analysis.
 
 The monolithic ingest path (:meth:`ADA.ingest`) decompresses and
 categorizes the *entire* arriving trajectory on the storage CPU, then
 dispatches every subset -- peak memory is the whole raw dataset and the
 backends sit idle while the CPU works (and vice versa).  This module
-pipelines the two stages:
+pipelines the stages:
 
 * the **producer** pulls GOF-aligned windows from
   :meth:`DataPreProcessor.process_windows`, pays the storage-CPU charge
   for each, and pushes the encoded per-tag blobs into a bounded
   write-behind queue;
+* the optional **analyzer** runs the fused in-situ analysis hook on each
+  window's decoded coordinates *before* the window's buffers are
+  released -- the online operators see every frame exactly once without
+  a second decompression pass;
 * the **consumer** drains the queue in arrival order and dispatches each
   window's subsets as coalesced chunk runs
   (:meth:`IODispatcher.dispatch_run`).
 
-Because the storage CPU and the backend devices are independent simulated
-resources, window *k*'s categorize/encode overlaps window *k-1*'s device
-writes.  The queue is bounded by ``depth`` windows and (optionally)
+Because the storage CPU, the analysis slot, and the backend devices are
+independent simulated resources, window *k*'s categorize/encode overlaps
+window *k-1*'s analysis which overlaps window *k-2*'s device writes.  The
+buffer is bounded by ``depth`` windows and (optionally)
 ``max_buffered_bytes``, so peak buffered memory is O(window x depth), not
 O(raw dataset); a full queue *backpressures* the producer, which is how a
 slow tier throttles a fast simulation stream instead of ballooning the
-buffer.  An empty queue always admits one window, so a single oversized
+buffer.  An empty buffer always admits one window, so a single oversized
 window can never deadlock the pipeline.
 
 Determinism: the consumer dispatches windows strictly in arrival order
 and each window's tags go out sorted, so chunk numbering -- and therefore
 every stored path, CRC, and index record -- is identical to the serial
-(``pipelined=False``) schedule over the same windows.  The pipeline only
-moves *when* bytes hit the backends, never *which* bytes.
+(``pipelined=False``) schedule over the same windows, with or without an
+analysis stage.  The pipeline only moves *when* bytes hit the backends,
+never *which* bytes.
+
+Abandonment: a caller that abandons the driving generator mid-stream
+(``close()`` / ``GeneratorExit``) -- or any stage failure -- tears the
+run down through :meth:`IngestPipeline._abort`: the still-alive stages
+are interrupted, the window iterator is closed, and every buffered
+window's accounting is returned, so a shared pipeline (and its
+``ingest_buffered_bytes`` gauge) is clean for the next stream.
 """
 
 from __future__ import annotations
@@ -41,7 +54,7 @@ from repro.core.preprocessor import WindowResult
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry, metric_view
 from repro.obs.trace import span
-from repro.sim import AllOf, Event, Simulator
+from repro.sim import AllOf, Event, Interrupt, Process, Simulator
 
 __all__ = ["IngestPipeline", "IngestPipelineConfig"]
 
@@ -55,10 +68,16 @@ class IngestPipelineConfig:
     """Tuning knobs for the streaming ingest path.
 
     ``depth`` bounds how many pre-processed windows may be buffered
-    (queued plus in dispatch) at once; ``max_buffered_bytes`` adds a byte
-    watermark on top.  ``pipelined=False`` runs the identical windowed
-    schedule with no overlap and no coalescing -- the serial baseline the
-    ``bench-ingest`` harness measures against.
+    (queued plus in analysis or dispatch) at once; ``max_buffered_bytes``
+    adds a byte watermark on top.  ``pipelined=False`` runs the identical
+    windowed schedule with no overlap and no coalescing -- the serial
+    baseline the ``bench-ingest`` harness measures against.
+
+    ``analysis`` optionally carries a default in-situ analysis hook (an
+    object with ``consume(start, stop, coords)`` /``results()``, e.g.
+    :class:`repro.analysis.online.InSituAnalysis`) applied to every
+    stream ingested under this config; a per-call
+    ``ADA.ingest_stream(analysis=...)`` hook wins.
     """
 
     window_frames: int = DEFAULT_WINDOW_FRAMES
@@ -66,6 +85,7 @@ class IngestPipelineConfig:
     max_buffered_bytes: Optional[int] = None
     coalesce: bool = True
     pipelined: bool = True
+    analysis: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.window_frames < 1:
@@ -78,10 +98,17 @@ class IngestPipelineConfig:
             raise ConfigurationError(
                 f"max_buffered_bytes must be >= 1, got {self.max_buffered_bytes}"
             )
+        if self.analysis is not None and not callable(
+            getattr(self.analysis, "consume", None)
+        ):
+            raise ConfigurationError(
+                "analysis hook must provide consume(start, stop, coords)"
+            )
 
 
 class IngestPipeline:
-    """Producer/consumer overlap of per-window CPU work and dispatch.
+    """Producer/analyzer/consumer overlap of per-window CPU work,
+    in-situ analysis, and dispatch.
 
     One instance may :meth:`run` several streams; counters accumulate in
     the shared :class:`MetricsRegistry` (``ingest_*`` families), so the
@@ -98,6 +125,9 @@ class IngestPipeline:
     cpu_seconds = metric_view("_metric_fields", key="cpu_seconds", cast=float)
     dispatch_seconds = metric_view(
         "_metric_fields", key="dispatch_seconds", cast=float
+    )
+    analysis_seconds = metric_view(
+        "_metric_fields", key="analysis_seconds", cast=float
     )
 
     def __init__(
@@ -126,8 +156,11 @@ class IngestPipeline:
             "dispatch_seconds": self.metrics.counter(
                 "ingest_dispatch_seconds_total", **extra
             ),
+            "analysis_seconds": self.metrics.counter(
+                "ingest_analysis_seconds_total", **extra
+            ),  # simulated seconds in the fused in-situ stage
         }
-        #: Windows currently buffered: queued plus the one in dispatch.
+        #: Windows currently buffered: queued plus in analysis/dispatch.
         self._held = 0
         self._buffered_bytes = 0
         self.queue_depth_peak = 0
@@ -143,6 +176,7 @@ class IngestPipeline:
             "ingest_buffered_bytes_peak", **extra
         )
         self._space_event: Optional[Event] = None
+        self._feed_event: Optional[Event] = None
         self._data_event: Optional[Event] = None
         self.last_elapsed_s = 0.0
 
@@ -153,43 +187,80 @@ class IngestPipeline:
         windows: Iterable[WindowResult],
         cpu_charge: Callable[[int], Generator],
         dispatch_window: Callable[[WindowResult], Generator],
+        analyze_window: Optional[Callable[[WindowResult], Generator]] = None,
     ) -> Generator:
-        """Process: drive a window stream through pre-process + dispatch.
+        """Process: drive a window stream through pre-process (+ analysis)
+        + dispatch.
 
         ``cpu_charge(raw_nbytes)`` is the storage-CPU cost of one window
-        (a DES process); ``dispatch_window(result)`` writes one window's
-        subsets and returns its index records.  Returns the per-window
-        record lists in window order.
+        (a DES process); ``analyze_window(result)``, when given, runs the
+        fused in-situ analysis pass on one window (a DES process) before
+        that window may dispatch; ``dispatch_window(result)`` writes one
+        window's subsets and returns its index records.  Returns the
+        per-window record lists in window order.
         """
         started = self.sim.now
         records: List[list] = []
         if not self.config.pipelined:
-            for result in windows:
-                t0 = self.sim.now
-                yield from cpu_charge(result.raw_nbytes)
-                self.cpu_seconds += self.sim.now - t0
-                t0 = self.sim.now
-                recs = yield from dispatch_window(result)
-                self.dispatch_seconds += self.sim.now - t0
-                records.append(recs)
-                self.windows += 1
+            try:
+                for result in windows:
+                    t0 = self.sim.now
+                    yield from cpu_charge(result.raw_nbytes)
+                    self.cpu_seconds += self.sim.now - t0
+                    if analyze_window is not None:
+                        t0 = self.sim.now
+                        yield from analyze_window(result)
+                        self.analysis_seconds += self.sim.now - t0
+                    t0 = self.sim.now
+                    recs = yield from dispatch_window(result)
+                    self.dispatch_seconds += self.sim.now - t0
+                    records.append(recs)
+                    self.windows += 1
+                self.last_elapsed_s = self.sim.now - started
+                return records
+            finally:
+                self._close_windows(windows)
+        state: Dict[str, object] = {
+            "produced": False,
+            "analyzed": False,
+            "error": None,
+            "abort": False,
+        }
+        pending: Deque[WindowResult] = deque()  # encoded, awaiting analysis
+        ready: Deque[WindowResult] = deque()  # analyzed, awaiting dispatch
+        fused = analyze_window is not None
+        procs: List[Process] = [
+            self.sim.process(
+                self._produce(
+                    windows, cpu_charge, pending if fused else ready,
+                    state, fused,
+                ),
+                name="ingest:producer",
+            )
+        ]
+        if fused:
+            procs.append(
+                self.sim.process(
+                    self._analyze(analyze_window, pending, ready, state),
+                    name="ingest:analyzer",
+                )
+            )
+        procs.append(
+            self.sim.process(
+                self._consume(dispatch_window, ready, state, records),
+                name="ingest:consumer",
+            )
+        )
+        try:
+            yield AllOf(self.sim, procs)
+        except BaseException:
+            self._abort(procs, windows, (pending, ready), state)
+            raise
+        finally:
             self.last_elapsed_s = self.sim.now - started
-            return records
-        state: Dict[str, object] = {"done": False, "error": None}
-        queue: Deque[WindowResult] = deque()
-        producer = self.sim.process(
-            self._produce(windows, cpu_charge, queue, state),
-            name="ingest:producer",
-        )
-        consumer = self.sim.process(
-            self._consume(dispatch_window, queue, state, records),
-            name="ingest:consumer",
-        )
-        yield AllOf(self.sim, [producer, consumer])
-        self.last_elapsed_s = self.sim.now - started
         return records
 
-    # -- the two stages -----------------------------------------------------
+    # -- the stages ---------------------------------------------------------
 
     def _produce(
         self,
@@ -197,6 +268,7 @@ class IngestPipeline:
         cpu_charge: Callable[[int], Generator],
         queue: Deque[WindowResult],
         state: Dict[str, object],
+        fused: bool,
     ) -> Generator:
         """Process: pre-process windows, enqueue under backpressure."""
         try:
@@ -204,7 +276,11 @@ class IngestPipeline:
                 t0 = self.sim.now
                 yield from cpu_charge(result.raw_nbytes)
                 self.cpu_seconds += self.sim.now - t0
-                while state["error"] is None and not self._admits(result):
+                while (
+                    state["error"] is None
+                    and not state["abort"]
+                    and not self._admits(result)
+                ):
                     self.backpressure_waits += 1
                     with span(
                         self.sim, "ingest.backpressure",
@@ -216,9 +292,11 @@ class IngestPipeline:
                         self._space_event = event
                         yield event
                         self.backpressure_seconds += self.sim.now - t0
+                if state["abort"]:
+                    return
                 if state["error"] is not None:
-                    # The consumer already failed; surface its error here
-                    # too so the AllOf barrier cannot hang on us.
+                    # A downstream stage already failed; surface its error
+                    # here too so the AllOf barrier cannot hang on us.
                     raise state["error"]  # type: ignore[misc]
                 queue.append(result)
                 self._held += 1
@@ -229,43 +307,139 @@ class IngestPipeline:
                 if self._buffered_bytes > self.buffered_bytes_peak:
                     self.buffered_bytes_peak = self._buffered_bytes
                     self._peak_bytes_gauge.set(self._buffered_bytes)
-                self._wake(which="data")
+                self._wake(which="feed" if fused else "data")
+        except Interrupt:
+            if not state["abort"]:
+                raise
         finally:
-            state["done"] = True
+            state["produced"] = True
+            self._wake(which="feed")
+            if not fused:
+                state["analyzed"] = True
+                self._wake(which="data")
+
+    def _analyze(
+        self,
+        analyze_window: Callable[[WindowResult], Generator],
+        pending: Deque[WindowResult],
+        ready: Deque[WindowResult],
+        state: Dict[str, object],
+    ) -> Generator:
+        """Process: run the fused in-situ pass on each buffered window.
+
+        Sits between producer and consumer so a window's decoded
+        coordinates are analyzed exactly once, before its buffers are
+        released; the window stays *held* (for backpressure accounting)
+        until dispatch completes.
+        """
+        try:
+            while True:
+                if state["abort"]:
+                    return
+                if not pending:
+                    if state["produced"]:
+                        return
+                    event = self.sim.event()
+                    self._feed_event = event
+                    yield event
+                    continue
+                result = pending.popleft()
+                t0 = self.sim.now
+                try:
+                    yield from analyze_window(result)
+                except BaseException as exc:
+                    if not (isinstance(exc, Interrupt) and state["abort"]):
+                        state["error"] = exc
+                    raise
+                finally:
+                    self.analysis_seconds += self.sim.now - t0
+                ready.append(result)
+                self._wake(which="data")
+        except Interrupt:
+            if not state["abort"]:
+                raise
+        finally:
+            state["analyzed"] = True
             self._wake(which="data")
+            self._wake(which="space")
 
     def _consume(
         self,
         dispatch_window: Callable[[WindowResult], Generator],
-        queue: Deque[WindowResult],
+        ready: Deque[WindowResult],
         state: Dict[str, object],
         records: List[list],
     ) -> Generator:
         """Process: drain windows in arrival order, dispatching each."""
-        while True:
-            if not queue:
-                if state["done"]:
+        try:
+            while True:
+                if state["abort"]:
                     return
-                event = self.sim.event()
-                self._data_event = event
-                yield event
-                continue
-            result = queue.popleft()
-            t0 = self.sim.now
-            try:
-                recs = yield from dispatch_window(result)
-            except BaseException as exc:
-                state["error"] = exc
+                if not ready:
+                    if state["analyzed"]:
+                        return
+                    event = self.sim.event()
+                    self._data_event = event
+                    yield event
+                    continue
+                result = ready.popleft()
+                t0 = self.sim.now
+                try:
+                    recs = yield from dispatch_window(result)
+                except BaseException as exc:
+                    if not (isinstance(exc, Interrupt) and state["abort"]):
+                        state["error"] = exc
+                    raise
+                finally:
+                    self.dispatch_seconds += self.sim.now - t0
+                    self._held -= 1
+                    self._buffered_bytes -= result.nbytes
+                    self._wake(which="space")
+                records.append(recs)
+                self.windows += 1
+        except Interrupt:
+            if not state["abort"]:
                 raise
-            finally:
-                self.dispatch_seconds += self.sim.now - t0
-                self._held -= 1
-                self._buffered_bytes -= result.nbytes
-                self._wake(which="space")
-            records.append(recs)
-            self.windows += 1
 
     # -- internals ----------------------------------------------------------
+
+    def _abort(
+        self,
+        procs: List[Process],
+        windows: Iterable[WindowResult],
+        queues: Iterable[Deque[WindowResult]],
+        state: Dict[str, object],
+    ) -> None:
+        """Tear down a failed or abandoned run without leaking buffers.
+
+        Called when the stage barrier raises -- a stage failed, or the
+        driving generator was abandoned mid-stream (``close()`` /
+        ``GeneratorExit``).  Marks the run aborted so the stage loops
+        exit cleanly at their next resume, interrupts the still-alive
+        stages, closes the window iterator (releasing the decoder), and
+        returns every queued window's accounting, so this (shared)
+        pipeline and its ``ingest_queue_depth`` / ``ingest_buffered_bytes``
+        gauges are clean for the next stream.
+        """
+        state["abort"] = True
+        self._close_windows(windows)
+        for proc in procs:
+            if proc.is_alive:
+                proc.interrupt("ingest aborted")
+        for queue in queues:
+            while queue:
+                result = queue.popleft()
+                self._held -= 1
+                self._buffered_bytes -= result.nbytes
+        self._space_event = None
+        self._feed_event = None
+        self._data_event = None
+
+    @staticmethod
+    def _close_windows(windows: Iterable[WindowResult]) -> None:
+        close = getattr(windows, "close", None)
+        if close is not None:
+            close()
 
     def _admits(self, result: WindowResult) -> bool:
         """May one more window enter the write-behind buffer?
@@ -283,6 +457,8 @@ class IngestPipeline:
     def _wake(self, which: str) -> None:
         if which == "space":
             event, self._space_event = self._space_event, None
+        elif which == "feed":
+            event, self._feed_event = self._feed_event, None
         else:
             event, self._data_event = self._data_event, None
         if event is not None and not event.triggered:
@@ -292,15 +468,18 @@ class IngestPipeline:
         """Operational snapshot of the pipeline's registry counters.
 
         ``overlap_ratio`` is the fraction of the *overlappable* work that
-        actually overlapped in the last run: with CPU time C, dispatch
-        time D, and wall time W, overlap is ``C + D - W`` and the
-        achievable maximum is ``min(C, D)``.  Serial runs report 0.
+        actually overlapped in the last run: with CPU time C, analysis
+        time A, dispatch time D, and wall time W, overlap is
+        ``C + A + D - W`` and the achievable maximum is
+        ``C + A + D - max(C, A, D)`` (with no analysis stage this reduces
+        to the two-stage ``min(C, D)``).  Serial runs report 0.
         """
         cpu = self.cpu_seconds
         io = self.dispatch_seconds
+        ana = self.analysis_seconds
         wall = self.last_elapsed_s
-        bound = min(cpu, io)
-        overlap = max(0.0, cpu + io - wall) / bound if bound > 0 else 0.0
+        bound = cpu + ana + io - max(cpu, ana, io)
+        overlap = max(0.0, cpu + ana + io - wall) / bound if bound > 0 else 0.0
         return {
             "enabled": True,
             "pipelined": self.config.pipelined,
@@ -311,6 +490,7 @@ class IngestPipeline:
             "backpressure_waits": self.backpressure_waits,
             "backpressure_seconds": self.backpressure_seconds,
             "cpu_seconds": cpu,
+            "analysis_seconds": ana,
             "dispatch_seconds": io,
             "elapsed_seconds": wall,
             "overlap_ratio": min(1.0, overlap),

@@ -75,6 +75,11 @@ class WindowResult:
     stop: int
     subsets: Dict[str, bytes]  # tag -> encoded container for this window
     raw_nbytes: int  # decompressed size of the window
+    #: Decoded ``(nframes, natoms, 3)`` float32 coordinates of the window,
+    #: populated only when the stream was opened with ``keep_coords=True``
+    #: (the fused in-situ analysis stage reads them before the window's
+    #: buffers are released, then nulls the field).
+    coords: Optional[object] = None
 
     @property
     def nframes(self) -> int:
@@ -189,6 +194,7 @@ class DataPreProcessor:
         label_map: LabelMap,
         trajectory_blob: bytes,
         window_frames: int,
+        keep_coords: bool = False,
     ) -> Iterator[WindowResult]:
         """Pre-process an arriving stream one GOF-aligned window at a time.
 
@@ -198,6 +204,10 @@ class DataPreProcessor:
         streaming ingest pipeline overlaps with backend dispatch of the
         previous windows.  Every subset byte across all windows equals a
         monolithic :meth:`process_chunk` split of the same blob.
+
+        ``keep_coords=True`` additionally exposes each window's decoded
+        coordinate array on :attr:`WindowResult.coords` -- the in-situ
+        analysis stage consumes it without a second decompression pass.
         """
         for window in self.decompressor.iter_windows(
             trajectory_blob, window_frames
@@ -208,6 +218,7 @@ class DataPreProcessor:
                 stop=window.stop,
                 subsets=self._encode_split(label_map, window.trajectory),
                 raw_nbytes=window.raw_nbytes,
+                coords=window.trajectory.coords if keep_coords else None,
             )
 
     def _encode_split(

@@ -70,3 +70,51 @@ def test_native_contact_validation():
         native_contact_fraction(traj, cutoff=1.0)
     with pytest.raises(TopologyError):
         native_contact_fraction(traj, reference_frame=5)
+
+
+# -- batched frame loop (regression: must stay bit-identical) ----------------
+
+
+def _per_frame_reference(coords, cutoff, native=None):
+    """The original per-frame Python loop the batched path replaced."""
+    counts, overlap = [], []
+    for frame in coords:
+        cmap = contact_map(frame, cutoff=cutoff)
+        counts.append(int(cmap.sum()))
+        if native is not None:
+            overlap.append(int((cmap & native).sum()))
+    return np.array(counts), (np.array(overlap) if native is not None else None)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("natoms", [3, 17, 60])
+def test_frame_contact_counts_bit_identical_to_frame_loop(seed, natoms):
+    from repro.analysis import frame_contact_counts
+
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(-6, 6, size=(9, natoms, 3)).astype(np.float32)
+    # Pin atom 1 next to atom 0 so every frame (and the reference map)
+    # has at least one contact regardless of the draw.
+    coords[:, 1] = coords[:, 0] + 0.5
+    cutoff = 4.0
+    native = contact_map(coords[0], cutoff=cutoff)
+    want_counts, want_overlap = _per_frame_reference(coords, cutoff, native)
+    got_counts, got_overlap = frame_contact_counts(coords, cutoff, native=native)
+    assert np.array_equal(got_counts, want_counts)
+    assert np.array_equal(got_overlap, want_overlap)
+    # The public series wrappers ride the same batched pass.
+    traj = Trajectory(coords=coords)
+    assert np.array_equal(contact_count(traj, cutoff=cutoff), want_counts // 2)
+    assert np.array_equal(
+        native_contact_fraction(traj, cutoff=cutoff),
+        want_overlap / native.sum(),
+    )
+
+
+def test_frame_contact_counts_validation():
+    from repro.analysis import frame_contact_counts
+
+    with pytest.raises(TopologyError):
+        frame_contact_counts(np.zeros((4, 3)), cutoff=1.0)
+    with pytest.raises(TopologyError):
+        frame_contact_counts(np.zeros((2, 4, 3)), cutoff=0.0)

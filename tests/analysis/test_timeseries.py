@@ -50,6 +50,27 @@ def test_autocorrelation_validation():
         autocorrelation(np.zeros((3, 3)))
 
 
+def test_autocorrelation_rejects_bad_max_lag():
+    # Regression: a negative max_lag used to escape as an opaque numpy
+    # ValueError from np.empty(max_lag + 1); it must be a typed error.
+    series = _ar1(50, 0.5)
+    with pytest.raises(TopologyError, match="max_lag"):
+        autocorrelation(series, max_lag=-3)
+    with pytest.raises(TopologyError, match="max_lag"):
+        autocorrelation(series, max_lag=2.5)
+    with pytest.raises(TopologyError, match="max_lag"):
+        autocorrelation(series, max_lag=True)
+
+
+def test_autocorrelation_max_lag_edges():
+    series = _ar1(50, 0.5)
+    c = autocorrelation(series, max_lag=0)
+    assert c.shape == (1,) and c[0] == pytest.approx(1.0)
+    # Oversized lags clamp to n - 1 instead of indexing past the series.
+    assert autocorrelation(series, max_lag=10_000).shape == (50,)
+    assert autocorrelation(series, max_lag=np.int64(3)).shape == (4,)
+
+
 def test_integrated_act_white_noise_is_half():
     assert integrated_act(_ar1(10_000, 0.0, seed=3)) == pytest.approx(0.5, abs=0.15)
 

@@ -339,3 +339,275 @@ def test_consumer_failure_propagates_without_deadlock(workload):
         sim.run_process(
             ada.ingest_stream(LOGICAL, workload.xtc_blob, config=config)
         )
+
+
+# -- fused in-situ analysis ---------------------------------------------------
+
+
+def _storage_cpu(sim):
+    from repro.cluster.node import ComputeNode
+    from repro.harness.calibration import E5_2603V4
+    from repro.storage.power import NodePower
+
+    return ComputeNode(
+        sim, "storage0", E5_2603V4, memory_capacity=64 * GB,
+        power=NodePower(idle_w=330.0, cpu_active_w=60.0, io_active_w=10.0),
+    )
+
+
+def _run_stream(workload, analysis=None, pipelined=True, with_cpu=True):
+    from repro.analysis import InSituAnalysis
+
+    sim = Simulator()
+    ada = _ada(sim, storage_cpu=_storage_cpu(sim) if with_cpu else None)
+    hook = InSituAnalysis() if analysis else None
+    receipt = sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob, pdb_text=workload.pdb_text,
+            config=IngestPipelineConfig(window_frames=4, pipelined=pipelined),
+            analysis=hook,
+        )
+    )
+    return sim, ada, receipt
+
+
+def test_fused_analysis_matches_batch_and_preserves_digest(workload):
+    from repro.analysis import contact_count, gyration_radius, rmsd_trajectory
+    from repro.core.decompressor import Decompressor
+
+    _, ada_plain, receipt_plain = _run_stream(workload, analysis=False)
+    _, ada_fused, receipt_fused = _run_stream(workload, analysis=True)
+    # The analysis stage only moves *when* things happen, never what is
+    # stored: every path, byte, and CRC is identical with or without it.
+    assert _digest(ada_plain) == _digest(ada_fused)
+    assert receipt_plain.analysis is None
+    res = receipt_fused.analysis
+    decoded = Decompressor().decompress(workload.xtc_blob)
+    assert res["frames"] == decoded.nframes
+    assert np.array_equal(res["rmsd"], rmsd_trajectory(decoded))
+    assert np.array_equal(res["contacts"], contact_count(decoded))
+    assert np.array_equal(res["gyration_radius"], gyration_radius(decoded))
+    assert set(res["stats"]) == {"rmsd", "gyration_radius"}
+    stats = ada_fused.stats()["ingest"]
+    assert stats["analysis_seconds"] > 0.0
+    assert int(ada_fused.metrics.counter("analysis_windows_total").value) == 8
+    assert (
+        int(ada_fused.metrics.counter("analysis_frames_total").value)
+        == decoded.nframes
+    )
+
+
+def test_fused_analysis_overlaps_instead_of_serializing(workload):
+    sim_fused, ada_fused, _ = _run_stream(workload, analysis=True)
+    sim_serial, _, _ = _run_stream(workload, analysis=True, pipelined=False)
+    # Same CPU + analysis + dispatch charges, but the three-stage pipeline
+    # overlaps them in simulated time.
+    assert sim_fused.now < sim_serial.now
+    stats = ada_fused.stats()["ingest"]
+    assert stats["analysis_seconds"] > 0.0
+    assert stats["overlap_ratio"] > 0.25
+
+
+def test_fused_windows_release_coords_after_analysis(workload):
+    from repro.analysis import InSituAnalysis
+
+    sim = Simulator()
+    ada = _ada(sim)
+    seen = []
+    pre_process_windows = ada.preprocessor.process_windows
+
+    def spying_windows(*args, **kwargs):
+        for window in pre_process_windows(*args, **kwargs):
+            seen.append(window)
+            yield window
+
+    ada.preprocessor.process_windows = spying_windows
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob, pdb_text=workload.pdb_text,
+            config=IngestPipelineConfig(window_frames=4),
+            analysis=InSituAnalysis(),
+        )
+    )
+    assert len(seen) == 8
+    # The analysis stage consumed each window's decoded coordinates and
+    # then dropped the reference: no per-window frame buffers are retained.
+    assert all(window.coords is None for window in seen)
+
+
+def test_analysis_hook_spans_appended_segments(workload):
+    from repro.analysis import InSituAnalysis, rmsd_trajectory
+    from repro.core.decompressor import Decompressor
+    from repro.formats.trajectory import Trajectory
+
+    sim = Simulator()
+    ada = _ada(sim)
+    hook = InSituAnalysis(stats_over=())
+    config = IngestPipelineConfig(window_frames=4)
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob, pdb_text=workload.pdb_text,
+            config=config, analysis=hook,
+        )
+    )
+    # A second stream without pdb_text appends; the hook's frame numbering
+    # continues so the online state now spans both segments.
+    sim.run_process(
+        ada.ingest_stream(LOGICAL, workload.xtc_blob, config=config, analysis=hook)
+    )
+    decoded = Decompressor().decompress(workload.xtc_blob)
+    both = Trajectory(
+        coords=np.concatenate([decoded.coords, decoded.coords]),
+        steps=np.concatenate([decoded.steps, decoded.steps]),
+        times_ps=np.concatenate([decoded.times_ps, decoded.times_ps]),
+    )
+    res = hook.results()
+    assert res["frames"] == 2 * decoded.nframes
+    assert res["replays_ignored"] == 0
+    assert np.array_equal(res["rmsd"], rmsd_trajectory(both))
+
+
+def test_rerunning_failed_stream_with_same_hook_skips_seen_windows(workload):
+    from repro.analysis import InSituAnalysis
+
+    sim = Simulator()
+    ada = _ada(sim)
+    hook = InSituAnalysis(stats_over=())
+    config = IngestPipelineConfig(window_frames=4)
+
+    sim.run_process(
+        _abandon_when(sim, ada, config, workload,
+                      lambda: hook.frames_seen >= 8, analysis=hook)
+    )
+    sim.run()
+    seen_before = hook.frames_seen
+    assert seen_before >= 8
+    # Re-running the *same* stream (fresh ingest, same hook) replays the
+    # consumed windows; the replay guard skips them instead of
+    # double-counting, then the tail is analyzed normally.
+    sim.run_process(
+        ada.ingest_stream(
+            LOGICAL, workload.xtc_blob, pdb_text=workload.pdb_text,
+            config=config, analysis=hook,
+        )
+    )
+    res = hook.results()
+    assert res["frames"] == 32
+    assert res["replays_ignored"] == seen_before // 4
+
+
+def test_rejects_analysis_hook_without_consume(workload):
+    with pytest.raises(ConfigurationError):
+        IngestPipelineConfig(analysis=object())
+    sim = Simulator()
+    ada = _ada(sim)
+    with pytest.raises(ConfigurationError):
+        sim.run_process(
+            ada.ingest_stream(
+                LOGICAL, workload.xtc_blob, pdb_text=workload.pdb_text,
+                analysis=object(),
+            )
+        )
+
+
+# -- abandoned streams (generator closed mid-flight) --------------------------
+
+
+def _abandon_when(sim, ada, config, workload, condition, analysis=None,
+                  tick_s=1e-5):
+    """Process: drive ``ingest_stream`` until ``condition()`` holds, then
+    walk away (early ``close()`` -> GeneratorExit inside the pipeline).
+
+    The pipelined run parks its driver on one barrier event, so the
+    driver races that event against short timeout ticks to observe
+    mid-stream state.
+    """
+    from repro.sim import AnyOf
+
+    def driver():
+        gen = ada.ingest_stream(
+            LOGICAL, workload.xtc_blob, pdb_text=workload.pdb_text,
+            config=config, analysis=analysis,
+        )
+        try:
+            event = next(gen)
+            while not condition():
+                yield AnyOf(sim, [event, sim.timeout(tick_s)])
+                if event.triggered:
+                    try:
+                        event = gen.send(event.value)
+                    except StopIteration:
+                        return  # stream finished before the condition hit
+        finally:
+            gen.close()
+
+    return driver()
+
+
+def test_abandoned_stream_releases_buffers_and_pipeline(workload):
+    sim = Simulator()
+    ada = _ada(sim, write_bw_mbps=10)  # slow dispatch: windows pile up
+    config = IngestPipelineConfig(window_frames=4)
+
+    sim.run_process(
+        _abandon_when(
+            sim, ada, config, workload,
+            lambda: ada._ingest_pipeline is not None
+            and ada._ingest_pipeline._held > 0,
+        )
+    )
+    pipe = ada._ingest_pipeline
+    # Abandonment must not leak buffered windows or wedge accounting...
+    assert pipe._held == 0
+    assert pipe._buffered_bytes == 0
+    assert int(ada.metrics.gauge("ingest_buffered_bytes").value) == 0
+    assert int(ada.metrics.gauge("ingest_queue_depth").value) == 0
+    # ...including after the interrupted stages finish unwinding.
+    sim.run()
+    assert pipe._held == 0 and pipe._buffered_bytes == 0
+    # The shared pipeline serves the next stream normally.
+    receipt = sim.run_process(
+        ada.ingest_stream(
+            "fresh.xtc", workload.xtc_blob, pdb_text=workload.pdb_text,
+            config=config,
+        )
+    )
+    assert ada._ingest_pipeline is pipe
+    assert receipt.logical == "fresh.xtc"
+    sim2 = Simulator()
+    ada2 = _ada(sim2, write_bw_mbps=10)
+    sim2.run_process(
+        ada2.ingest_stream(
+            "fresh.xtc", workload.xtc_blob, pdb_text=workload.pdb_text,
+            config=config,
+        )
+    )
+    fresh = [
+        (name, path, data)
+        for name, path, data in _digest(ada2)
+    ]
+    reused = [
+        (name, path, data)
+        for name, path, data in _digest(ada)
+        if "fresh.xtc" in path
+    ]
+    assert reused == fresh
+
+
+def test_abandoned_fused_stream_cleans_up(workload):
+    from repro.analysis import InSituAnalysis
+
+    sim = Simulator()
+    ada = _ada(sim, write_bw_mbps=10, storage_cpu=_storage_cpu(sim))
+    hook = InSituAnalysis(stats_over=())
+    config = IngestPipelineConfig(window_frames=4)
+
+    sim.run_process(
+        _abandon_when(sim, ada, config, workload,
+                      lambda: hook.windows_seen >= 2, analysis=hook)
+    )
+    sim.run()
+    pipe = ada._ingest_pipeline
+    assert pipe._held == 0 and pipe._buffered_bytes == 0
+    # The hook keeps the windows it saw; nothing double-counted.
+    assert hook.frames_seen == hook.windows_seen * 4

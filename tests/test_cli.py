@@ -9,8 +9,8 @@ def test_list_prints_targets(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out.split()
     assert set(out) == set(GENERATORS) | {
-        "bench-codec", "bench-cluster", "bench-ingest", "bench-pipeline",
-        "bench-serve", "chaos", "metrics", "trace",
+        "bench-codec", "bench-cluster", "bench-ingest", "bench-insitu",
+        "bench-pipeline", "bench-serve", "chaos", "metrics", "trace",
     }
 
 
