@@ -178,8 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         choices=sorted(GENERATORS)
         + ["all", "bench-codec", "bench-cluster", "bench-ingest",
-           "bench-insitu", "bench-pipeline", "bench-serve", "chaos",
-           "metrics", "trace", "list"],
+           "bench-insitu", "bench-lod", "bench-pipeline", "bench-serve",
+           "chaos", "metrics", "trace", "list"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -242,6 +242,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(bench-serve) trajectories in the Zipf catalog")
     serve.add_argument("--zipf", type=float, default=1.1,
                        help="(bench-serve) Zipf skew of dataset popularity")
+    lod = parser.add_argument_group("bench-lod options")
+    lod.add_argument("--precision", default="both",
+                     choices=["full", "lod", "both"],
+                     help="(bench-lod) which precision tier(s) to replay; "
+                          "the comparative floors only gate a 'both' run")
+    lod.add_argument("--lod-precision", type=float, default=None,
+                     help="(bench-lod) coarse-tier quantization precision "
+                          "(positions per nm; default 12.5 = 0.04 nm bound)")
     cluster = parser.add_argument_group("bench-cluster options")
     cluster.add_argument("--nodes", type=str, default="1,2,4,8",
                          help="(bench-cluster) comma-separated node counts "
@@ -309,6 +317,9 @@ BENCH_SERVE_JSON = pathlib.Path("benchmarks/results/BENCH_serve.json")
 
 #: Canonical location of the bench-cluster JSON record.
 BENCH_CLUSTER_JSON = pathlib.Path("benchmarks/results/BENCH_cluster.json")
+
+#: Canonical location of the bench-lod JSON record.
+BENCH_LOD_JSON = pathlib.Path("benchmarks/results/BENCH_lod.json")
 
 
 def _run_bench_ingest(args) -> int:
@@ -409,6 +420,40 @@ def _run_bench_pipeline(args) -> int:
             print(text)
     if not result["pass"]:
         print("repro: bench-pipeline below its floors", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_bench_lod(args) -> int:
+    from repro.core.lod import DEFAULT_LOD_PRECISION
+    from repro.harness.benchlod import render_lod_bench, run_lod_bench
+
+    result = run_lod_bench(
+        natoms=args.natoms if args.natoms is not None else 1200,
+        nchunks=args.nchunks,
+        frames_per_chunk=args.frames_per_chunk,
+        window_chunks=args.window_chunks,
+        seed=args.seed if args.seed else 7,
+        lod_precision=(
+            args.lod_precision
+            if args.lod_precision is not None else DEFAULT_LOD_PRECISION
+        ),
+        precision=args.precision,
+    )
+    if args.json:
+        path = args.output or BENCH_LOD_JSON
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        text = render_lod_bench(result)
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+    if not result["pass"]:
+        print("repro: bench-lod below its floors", file=sys.stderr)
         return 1
     return 0
 
@@ -602,6 +647,7 @@ def main(argv=None) -> int:
         print("bench-cluster")
         print("bench-ingest")
         print("bench-insitu")
+        print("bench-lod")
         print("bench-pipeline")
         print("bench-serve")
         print("chaos")
@@ -616,6 +662,8 @@ def main(argv=None) -> int:
         return _run_bench_ingest(args)
     if args.target == "bench-insitu":
         return _run_bench_insitu(args)
+    if args.target == "bench-lod":
+        return _run_bench_lod(args)
     if args.target == "bench-pipeline":
         return _run_bench_pipeline(args)
     if args.target == "bench-serve":

@@ -47,6 +47,13 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.ingest import IngestPipeline, IngestPipelineConfig
 from repro.core.labeler import LabelMap
+from repro.core.lod import (
+    base_tags,
+    is_lod_tag,
+    lod_max_error,
+    lod_tag,
+    validate_precision,
+)
 from repro.core.middleware import ADA, IngestReceipt, merge_decoded_subsets
 from repro.errors import (
     ConfigurationError,
@@ -385,6 +392,10 @@ class ShardedADA:
             "degraded": self.metrics.counter("cluster_degraded_reads_total"),
             "keys_moved": self.metrics.counter("cluster_keys_moved_total"),
             "bytes_moved": self.metrics.counter("cluster_bytes_moved_total"),
+            "lod_routed": self.metrics.counter("cluster_lod_routed_total"),
+            "lod_fallback": self.metrics.counter(
+                "cluster_lod_fallback_total"
+            ),
         }
         self._ingest_pipeline: Optional[IngestPipeline] = None
         for node in nodes:
@@ -782,18 +793,71 @@ class ShardedADA:
 
     # -- fetch (read) path ---------------------------------------------------------
 
-    def fetch(self, logical: str, tag: str) -> Generator:
+    def _resolve_tier(
+        self, logical: str, tag: str, precision: str
+    ) -> Tuple[str, str]:
+        """Front-side tier choice: ``(tier, routing tag)``.
+
+        The tier must resolve *before* routing because the ``lod:``
+        sibling hashes to its own ring position -- it may live on a
+        different node than its base subset.  ``"auto"`` folds in the
+        live holders' own pressure signals (cache watermark, fresh fault
+        degradation); the chosen tier is then passed to the node
+        explicitly so front and node never disagree mid-request.
+        """
+        precision = validate_precision(precision)
+        if precision == "full" or is_lod_tag(tag):
+            return "full", tag
+        available = (logical, lod_tag(tag)) in self._placement
+        if precision == "lod":
+            if not available:
+                self._counters["lod_fallback"].inc()
+                return "full", tag
+            return "lod", lod_tag(tag)
+        if available and self._under_pressure(logical, tag):
+            return "lod", lod_tag(tag)
+        return "full", tag
+
+    def _under_pressure(self, logical: str, tag: str) -> bool:
+        """Any live holder of the base subset reporting pressure?"""
+        for name in self._placement.get((logical, tag), ()):
+            node = self.nodes[name]
+            if node.alive and node.ada._under_pressure():
+                return True
+        return False
+
+    def fetch(self, logical: str, tag: str, precision: str = "full") -> Generator:
         """Process: tag-selective read from the best live holder."""
+        tier, route_tag = self._resolve_tier(logical, tag, precision)
+        if tier == "lod":
+            self._counters["lod_routed"].inc()
+            obj = yield from self._routed(
+                logical, route_tag, "fetch",
+                lambda node: node.ada.fetch(logical, tag, precision="lod"),
+            )
+            return obj
         obj = yield from self._routed(
             logical, tag, "fetch",
             lambda node: node.ada.fetch(logical, tag),
         )
         return obj
 
-    def fetch_chunks(self, logical: str, tag: str, chunks) -> Generator:
+    def fetch_chunks(
+        self, logical: str, tag: str, chunks, precision: str = "full"
+    ) -> Generator:
         """Process: windowed chunk read; sticky routing keeps one shard's
         prefetcher trained on the stream."""
         chunks = list(chunks)
+        tier, route_tag = self._resolve_tier(logical, tag, precision)
+        if tier == "lod":
+            self._counters["lod_routed"].inc()
+            objs = yield from self._routed(
+                logical, route_tag, "fetch_chunks",
+                lambda node: node.ada.fetch_chunks(
+                    logical, tag, chunks, precision="lod"
+                ),
+            )
+            return objs
         objs = yield from self._routed(
             logical, tag, "fetch_chunks",
             lambda node: node.ada.fetch_chunks(logical, tag, chunks),
@@ -854,29 +918,60 @@ class ShardedADA:
         """
         return tag not in self.replicated_tags
 
-    def fetch_merged(self, logical: str) -> Generator:
+    def fetch_merged(self, logical: str, precision: str = "full") -> Generator:
         """Process: scatter-gather -- each tag reads from its own shard,
         frames reassemble at the front."""
+        precision = validate_precision(precision)
         tags = self.tags(logical)
-        with span(self.sim, "cluster.fetch_merged", logical=logical):
+        tier = "full"
+        if precision != "full":
+            # The merged read degrades only as a whole: every base subset
+            # needs a sibling, or frame counts would disagree mid-merge.
+            available = all(
+                (logical, lod_tag(t)) in self._placement for t in tags
+            )
+            if precision == "lod":
+                if available:
+                    tier = "lod"
+                else:
+                    self._counters["lod_fallback"].inc()
+            elif available and any(
+                self._under_pressure(logical, t) for t in tags
+            ):
+                tier = "lod"
+        read_tags = [lod_tag(t) if tier == "lod" else t for t in tags]
+        if tier == "lod":
+            self._counters["lod_routed"].inc()
+        with span(
+            self.sim, "cluster.fetch_merged", logical=logical, tier=tier
+        ):
             procs = [
                 self.sim.process(
                     self._routed(
-                        logical, tag, "fetch_merged",
-                        lambda node, t=tag: node.ada.determinator.retriever
-                        .retrieve_chunks(logical, t),
+                        logical, read_tag, "fetch_merged",
+                        lambda node, t=read_tag: node.ada.determinator
+                        .retriever.retrieve_chunks(logical, t),
                     ),
-                    name=f"clustermerge:{logical}#{tag}",
+                    name=f"clustermerge:{logical}#{read_tag}",
                 )
-                for tag in tags
+                for read_tag in read_tags
             ]
             results = yield AllOf(self.sim, procs)
-        return merge_decoded_subsets(
+        merged = merge_decoded_subsets(
             logical,
             self.label_map(logical),
             dict(zip(tags, results)),
             self.preprocessor.decompressor.decompress,
         )
+        # merge_decoded_subsets yields a plain Trajectory; the tier verdict
+        # rides along as attributes (mirrors StoredObject.tier/max_error).
+        merged.tier = tier
+        merged.max_error = (
+            lod_max_error(self.preprocessor.lod_precision)
+            if tier == "lod"
+            else None
+        )
+        return merged
 
     # -- metadata --------------------------------------------------------------------
 
@@ -888,14 +983,32 @@ class ShardedADA:
     def tags(self, logical: str) -> List[str]:
         if logical not in self._catalog:
             raise LabelIndexError(f"unknown dataset {logical!r}")
+        return base_tags(self._catalog[logical])
+
+    def all_tags(self, logical: str) -> List[str]:
+        """Every catalogued tag, the LOD family included."""
+        if logical not in self._catalog:
+            raise LabelIndexError(f"unknown dataset {logical!r}")
         return list(self._catalog[logical])
+
+    def has_lod(self, logical: str, tag: Optional[str] = None) -> bool:
+        """Mirror of :meth:`ADA.has_lod` against the cluster catalog."""
+        if logical not in self._catalog:
+            return False
+        if tag is not None:
+            return (logical, lod_tag(tag)) in self._placement
+        bases = self.tags(logical)
+        return bool(bases) and all(
+            (logical, lod_tag(t)) in self._placement for t in bases
+        )
 
     def subset_nbytes(self, logical: str, tag: str) -> int:
         return self._any_holder(logical, tag).ada.subset_nbytes(logical, tag)
 
     def container_nbytes(self, logical: str) -> int:
+        # Stored volume counts every representation, LOD siblings included.
         return sum(
-            self.subset_nbytes(logical, tag) for tag in self.tags(logical)
+            self.subset_nbytes(logical, tag) for tag in self.all_tags(logical)
         )
 
     def remove(self, logical: str) -> int:
@@ -1040,6 +1153,8 @@ class ShardedADA:
             "keys_moved": int(self._counters["keys_moved"].value),
             "bytes_moved": int(self._counters["bytes_moved"].value),
             "degraded_reads": len(self.degraded),
+            "lod_routed": int(self._counters["lod_routed"].value),
+            "lod_fallback": int(self._counters["lod_fallback"].value),
             "prefetch": self.prefetcher.stats(),
         }
 

@@ -27,9 +27,19 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import CodecError
 from repro.formats.codecexec import CodecPool, resolve_backend
-from repro.formats.dcd import DCD_MAGIC, decode_dcd
+from repro.formats.dcd import (
+    DCD_MAGIC,
+    dcd_frame_count,
+    decode_dcd,
+    decode_dcd_range,
+)
 from repro.formats.trajectory import Trajectory
-from repro.formats.trr import TRR_MAGIC, decode_trr
+from repro.formats.trr import (
+    TRR_MAGIC,
+    decode_trr,
+    decode_trr_range,
+    trr_frame_count,
+)
 from repro.formats.xtc import (
     RAW_MAGIC,
     XTC_MAGIC,
@@ -95,6 +105,13 @@ class Decompressor:
         # stable (and the entry is verified by identity before use, so a
         # recycled id can never alias a different blob).
         self._index_cache: "OrderedDict[int, tuple[bytes, FrameIndex]]" = (
+            OrderedDict()
+        )
+        # Same identity-keyed LRU idea for decoded *raw* containers: raw
+        # decodes are zero-copy views, but a multi-container stream pays
+        # one splice per decode -- windowed ingest slices the cached
+        # trajectory instead of re-splicing per window.
+        self._raw_cache: "OrderedDict[int, tuple[bytes, Trajectory]]" = (
             OrderedDict()
         )
         self.index_hits = 0
@@ -222,55 +239,82 @@ class Decompressor:
             for s in range(0, nframes, window_frames)
         ]
 
+    def decode_range(self, data: bytes, start: int, stop: int) -> Trajectory:
+        """Decode frames ``[start, stop)`` only -- any supported format.
+
+        The shared lazy-window primitive: XTC seeks via its
+        :class:`FrameIndex`, TRR and DCD via fixed-frame-size header
+        arithmetic, and raw slices its (cached) zero-copy view.  Bytes
+        outside the range are never inflated for the seekable formats, so
+        windowed ingest of a TRR or DCD stream peaks at one window of
+        frames exactly like the XTC path.
+        """
+        kind = self.sniff(data)
+        if kind == "xtc":
+            return decode_frame_range(
+                data,
+                start,
+                stop,
+                index=self.frame_index(data),
+                workers=self.workers,
+                executor=self._pool(),
+            )
+        if kind == "trr":
+            trajectory, _velocities = decode_trr_range(data, start, stop)
+            return trajectory
+        if kind == "dcd":
+            return decode_dcd_range(data, start, stop)
+        return self._raw_trajectory(data).slice_frames(start, stop)
+
     def iter_windows(
         self, data: bytes, window_frames: int
     ) -> Iterator[TrajectoryWindow]:
         """Decode an arriving stream one GOF-aligned window at a time.
 
         The streaming-ingest primitive: each yielded
-        :class:`TrajectoryWindow` is decoded lazily on ``next()``, so peak
-        memory is one window's frames (plus the encoded stream), not the
-        whole raw dataset.  Concatenating every window's frames is
+        :class:`TrajectoryWindow` is decoded lazily on ``next()`` via
+        :meth:`decode_range`, so peak memory is one window's frames (plus
+        the encoded stream), not the whole raw dataset -- for XTC, TRR,
+        and DCD alike.  Concatenating every window's frames is
         bit-identical to :meth:`decompress` of the full stream.
         """
-        kind = self.sniff(data)
         spans = self.window_spans(data, window_frames)
-        if kind == "xtc":
-            index = self.frame_index(data)
-            for i, (start, stop) in enumerate(spans):
-                yield TrajectoryWindow(
-                    index=i,
-                    start=start,
-                    stop=stop,
-                    trajectory=decode_frame_range(
-                        data,
-                        start,
-                        stop,
-                        index=index,
-                        workers=self.workers,
-                        executor=self._pool(),
-                    ),
-                )
-        else:
-            # Uncompressed containers decode in one cheap pass; windows
-            # are zero-copy-ish slices of the decoded array.
-            trajectory = self.decompress(data)
-            for i, (start, stop) in enumerate(spans):
-                yield TrajectoryWindow(
-                    index=i,
-                    start=start,
-                    stop=stop,
-                    trajectory=trajectory.slice_frames(start, stop),
-                )
+        for i, (start, stop) in enumerate(spans):
+            yield TrajectoryWindow(
+                index=i,
+                start=start,
+                stop=stop,
+                trajectory=self.decode_range(data, start, stop),
+            )
 
     def frame_count(self, data: bytes) -> int:
-        """Frames in a compressed stream without inflating payloads."""
-        if self.sniff(data) == "xtc":
+        """Frames in a stream without inflating coordinate payloads."""
+        kind = self.sniff(data)
+        if kind == "xtc":
             return self.frame_index(data).nframes
-        return self.decompress(data).nframes
+        if kind == "trr":
+            return trr_frame_count(data)
+        if kind == "dcd":
+            return dcd_frame_count(data)
+        return self._raw_trajectory(data).nframes
 
     def raw_nbytes(self, data: bytes) -> int:
         """Decompressed payload size (headers only for xtc)."""
         if self.sniff(data) == "xtc":
             return self.frame_index(data).raw_nbytes
         return self.decompress(data).nbytes
+
+    def _raw_trajectory(self, data: bytes) -> Trajectory:
+        """The (cached) decoded form of a raw container stream."""
+        key = id(data)
+        entry = self._raw_cache.get(key)
+        if entry is not None and entry[0] is data:
+            self._raw_cache.move_to_end(key)
+            return entry[1]
+        trajectory = decode_raw(data)
+        if self.index_cache_size:
+            self._raw_cache[key] = (data, trajectory)
+            self._raw_cache.move_to_end(key)
+            while len(self._raw_cache) > self.index_cache_size:
+                self._raw_cache.popitem(last=False)
+        return trajectory

@@ -38,15 +38,30 @@ __all__ = ["Prefetcher"]
 
 
 class _StreamState:
-    """Per-(shard, tenant, logical, tag) access-pattern tracker."""
+    """Per-(shard, tenant, logical, tag) access-pattern tracker.
 
-    __slots__ = ("last_start", "last_len", "stride", "confirmed")
+    Two detectors run side by side: the exact-stride detector (two equal
+    nonzero strides confirm; prediction extrapolates the stride, forward
+    *or* backward) and a coarser direction detector (two consecutive
+    same-sign strides of any magnitude confirm a playback direction --
+    jumpy scrubbing towards one end of the trajectory).  Exact stride
+    wins when both hold; sign-alternating access (rocking playback,
+    random seeks) confirms neither, reproducing the paper's observation
+    that random access defeats readahead.
+    """
+
+    __slots__ = (
+        "last_start", "last_len", "stride", "confirmed",
+        "last_sign", "direction",
+    )
 
     def __init__(self) -> None:
         self.last_start: Optional[int] = None
         self.last_len = 0
         self.stride: Optional[int] = None
         self.confirmed = False
+        self.last_sign = 0  # sign of the most recent nonzero stride
+        self.direction = 0  # +1/-1 when two same-sign strides confirmed
 
 
 class Prefetcher:
@@ -59,6 +74,7 @@ class Prefetcher:
 
     FIELDS = (
         "issued",  # speculative windows launched
+        "issued_direction",  # of which: direction-only (jumpy scrub)
         "chunks_requested",
         "suppressed_pressure",
         "suppressed_degraded",
@@ -70,6 +86,7 @@ class Prefetcher:
     )
 
     issued = metric_view("_metric_fields", key="issued")
+    issued_direction = metric_view("_metric_fields", key="issued_direction")
     chunks_requested = metric_view("_metric_fields", key="chunks_requested")
     suppressed_pressure = metric_view(
         "_metric_fields", key="suppressed_pressure"
@@ -157,7 +174,7 @@ class Prefetcher:
             (self.shard_id, tenant, logical, tag), _StreamState()
         )
         self._advance_pattern(state, start, span)
-        if not state.confirmed:
+        if not state.confirmed and not state.direction:
             self.suppressed_pattern += 1
             return None
         if self._degraded():
@@ -172,13 +189,25 @@ class Prefetcher:
         if len(inflight) >= self.max_inflight:
             self.suppressed_inflight += 1
             return None
-        next_start = start + state.stride
+        if state.confirmed:
+            # Exact stride (forward or backward playback, skip-frame):
+            # extrapolate the stride itself.
+            next_start = start + state.stride
+            predicted = range(next_start, next_start + span)
+        else:
+            # Direction-only (jumpy scrub towards one end): magnitudes
+            # don't repeat, so the best prediction is the window adjacent
+            # to the current one in the playback direction.
+            if state.direction > 0:
+                predicted = range(start + span, start + 2 * span)
+            else:
+                predicted = range(start - span, start)
+            next_start = predicted.start
         # Clamp the predicted window to the chunks the index actually has:
         # speculation past chunk 0 *or* past the subset's last chunk would
         # only spawn doomed no-op processes and inflate the issue counters.
         records = list(self.retriever.plfs.subset_records(logical, tag))
         last_chunk = max((r.chunk for r in records), default=-1)
-        predicted = range(next_start, next_start + span)
         targets = [c for c in predicted if 0 <= c <= last_chunk]
         clamped = span - len(targets)
         if clamped:
@@ -189,6 +218,8 @@ class Prefetcher:
             self.suppressed_budget += 1
             return None
         self.issued += 1
+        if not state.confirmed:
+            self.issued_direction += 1
         self.chunks_requested += len(targets)
         proc = self.sim.process(
             self._prefetch(logical, tag, targets),
@@ -218,6 +249,9 @@ class Prefetcher:
             else:
                 state.confirmed = False
                 state.stride = stride if stride != 0 else None
+            sign = (stride > 0) - (stride < 0)
+            state.direction = sign if sign and sign == state.last_sign else 0
+            state.last_sign = sign
         state.last_start = start
         state.last_len = span
 

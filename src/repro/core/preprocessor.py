@@ -14,6 +14,7 @@ from typing import Dict, Iterator, Optional
 
 from repro.core.categorizer import Categorizer
 from repro.core.decompressor import Decompressor
+from repro.core.lod import lod_max_error, lod_tag
 from repro.formats.codecexec import CodecPool, resolve_backend
 from repro.core.labeler import LabelMap
 from repro.core.tags import TagPolicy
@@ -104,6 +105,7 @@ class DataPreProcessor:
         subset_format: str = "raw",
         workers: Optional[int] = None,
         codec_backend: str = "auto",
+        lod_precision: Optional[float] = None,
         metrics=None,
     ):
         if subset_format not in SUBSET_ENCODERS:
@@ -112,10 +114,15 @@ class DataPreProcessor:
                 f"have {sorted(SUBSET_ENCODERS)}"
             )
         resolve_backend(codec_backend)  # validate eagerly
+        if lod_precision is not None:
+            lod_max_error(lod_precision)  # validates > 0
         self.policy = policy or TagPolicy.protein_vs_misc()
         self.subset_format = subset_format
         self.workers = workers
         self.codec_backend = codec_backend
+        self.lod_precision = (
+            float(lod_precision) if lod_precision is not None else None
+        )
         self.metrics = metrics
         self.categorizer = Categorizer(self.policy)
         self.decompressor = Decompressor(
@@ -224,27 +231,51 @@ class DataPreProcessor:
     def _encode_split(
         self, label_map: LabelMap, trajectory: Trajectory
     ) -> Dict[str, bytes]:
-        """Categorize + encode one trajectory (or window) into subset blobs."""
+        """Categorize + encode one trajectory (or window) into subset blobs.
+
+        With ``lod_precision`` configured, each base subset also encodes a
+        coarse-quantized XTC sibling under its ``lod:`` tag -- same
+        frames, same chunk cadence, a fraction of the bytes (see
+        :mod:`repro.core.lod`) -- so every dispatch/index/cache mechanism
+        downstream applies to the cheap tier unchanged.
+        """
         encoder = SUBSET_ENCODERS[self.subset_format]
         split = self.categorizer.split(trajectory, label_map)
-        if self.subset_format == "xtc" and self._pool_size() > 1:
+        parallel_xtc = self.subset_format == "xtc" and self._pool_size() > 1
+        # out-tag -> zero-arg encode job, base tags first (the serial
+        # baseline's chunk-claim order), then the LOD siblings.
+        jobs: Dict[str, object] = {}
+        for tag, sub in split.items():
+            if parallel_xtc:
+                jobs[tag] = lambda s=sub: encoder(
+                    s, workers=self.workers, backend=self.codec_backend
+                )
+            else:
+                jobs[tag] = lambda s=sub: encoder(s)
+        if self.lod_precision is not None:
+            for tag, sub in split.items():
+                if parallel_xtc:
+                    jobs[lod_tag(tag)] = lambda s=sub: encode_xtc(
+                        s, precision=self.lod_precision,
+                        workers=self.workers, backend=self.codec_backend,
+                    )
+                else:
+                    jobs[lod_tag(tag)] = lambda s=sub: encode_xtc(
+                        s, precision=self.lod_precision
+                    )
+        if parallel_xtc:
             # Parallelize inside each compressed encode (GOF fan-out on
             # the configured backend) rather than across tags: subset
             # sizes are wildly uneven, so per-GOF work units balance far
             # better than per-tag ones.
-            return {
-                tag: encoder(
-                    sub, workers=self.workers, backend=self.codec_backend
-                )
-                for tag, sub in split.items()
-            }
-        nworkers = resolve_workers(self.workers, len(split))
+            return {tag: job() for tag, job in jobs.items()}
+        nworkers = resolve_workers(self.workers, len(jobs))
         pool = self._pool() if nworkers > 1 else None
         if pool is not None:
-            tags = list(split)
-            blobs = pool.run(lambda t: encoder(split[t]), [(t,) for t in tags])
+            tags = list(jobs)
+            blobs = pool.run(lambda t: jobs[t](), [(t,) for t in tags])
             return dict(zip(tags, blobs))
-        return {tag: encoder(sub) for tag, sub in split.items()}
+        return {tag: job() for tag, job in jobs.items()}
 
     def _divide(
         self, label_map: LabelMap, trajectory: Trajectory, compressed_nbytes: int

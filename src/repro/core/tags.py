@@ -192,6 +192,11 @@ class PlacementPolicy:
         override = self.overrides.get(tag)
         if override is not None:
             return override
+        if tag.startswith("lod:"):
+            # The coarse LOD sibling serves *interactive* reads, so it
+            # rides wherever its base subset rides (an LOD of the active
+            # protein subset belongs on flash, not behind HDD seeks).
+            return self.backend_for(tag[len("lod:"):])
         if tag in self.active_tags:
             return self.active_backend
         return self.inactive_backend

@@ -20,7 +20,14 @@ import numpy as np
 from repro.errors import CodecError
 from repro.formats.trajectory import Trajectory
 
-__all__ = ["DCD_MAGIC", "encode_dcd", "decode_dcd", "dcd_nbytes"]
+__all__ = [
+    "DCD_MAGIC",
+    "dcd_frame_count",
+    "dcd_nbytes",
+    "decode_dcd",
+    "decode_dcd_range",
+    "encode_dcd",
+]
 
 DCD_MAGIC = b"CORD"
 _TITLE = b"Created by repro (ADA reproduction)".ljust(80)
@@ -110,6 +117,80 @@ def _decode_one_dcd(data: bytes, start: int) -> "tuple[Trajectory, int]":
             coords[f, :, axis] = np.frombuffer(payload, dtype="<f4")
     steps = istart + np.arange(nframes, dtype=np.int64)
     return Trajectory(coords=coords, steps=steps), offset
+
+
+def _scan_dcd(data: bytes) -> "List[tuple[int, int, int, int, int]]":
+    """Light header scan: ``(coords_offset, nframes, natoms, istart,
+    frame_bytes)`` per concatenated DCD segment.
+
+    A segment's frames are fixed-size Fortran record triplets, so after
+    the three header records the stream is randomly addressable -- the
+    same property :func:`repro.formats.trr.decode_trr_range` exploits.
+    The scan reads headers only; coordinate payloads stay untouched.
+    """
+    segments: List["tuple[int, int, int, int, int]"] = []
+    offset = 0
+    while offset < len(data):
+        header, off = _read_record(data, offset)
+        if header[:4] != DCD_MAGIC:
+            raise CodecError(f"bad DCD magic {header[:4]!r}")
+        icntrl = struct.unpack_from("<20i", header, 4)
+        nframes, istart = icntrl[0], icntrl[1]
+        _titles, off = _read_record(data, off)
+        natoms_rec, off = _read_record(data, off)
+        (natoms,) = struct.unpack("<i", natoms_rec)
+        if natoms <= 0 or nframes < 0:
+            raise CodecError(f"implausible DCD dimensions ({nframes}x{natoms})")
+        frame_bytes = 3 * (8 + natoms * 4)
+        end = off + nframes * frame_bytes
+        if end > len(data):
+            raise CodecError("truncated DCD coordinate records")
+        segments.append((off, nframes, natoms, istart, frame_bytes))
+        offset = end
+    if not segments:
+        raise CodecError("empty DCD stream")
+    return segments
+
+
+def dcd_frame_count(data: bytes) -> int:
+    """Frames in a (possibly concatenated) DCD without touching payloads."""
+    return sum(seg[1] for seg in _scan_dcd(data))
+
+
+def decode_dcd_range(data: bytes, start: int, stop: int) -> Trajectory:
+    """Decode frames ``[start, stop)`` of a (concatenated) DCD stream.
+
+    Only the records inside the range are read and CRC-of-marker checked;
+    the concatenation of range decodes over a partition of ``[0,
+    nframes)`` is bit-identical to :func:`decode_dcd`.
+    """
+    segments = _scan_dcd(data)
+    total = sum(seg[1] for seg in segments)
+    if not 0 <= start < stop <= total:
+        raise CodecError(
+            f"frame range [{start}, {stop}) outside stream of {total}"
+        )
+    parts: List[Trajectory] = []
+    base = 0  # first global frame index of the current segment
+    for coords_offset, nframes, natoms, istart, frame_bytes in segments:
+        lo = max(start, base)
+        hi = min(stop, base + nframes)
+        if lo < hi:
+            coords = np.empty((hi - lo, natoms, 3), dtype=np.float32)
+            for i, f in enumerate(range(lo - base, hi - base)):
+                offset = coords_offset + f * frame_bytes
+                for axis in range(3):
+                    payload, offset = _read_record(data, offset)
+                    if len(payload) != natoms * 4:
+                        raise CodecError(
+                            f"DCD frame {f} axis {axis}: {len(payload)} "
+                            f"bytes, expected {natoms * 4}"
+                        )
+                    coords[i, :, axis] = np.frombuffer(payload, dtype="<f4")
+            steps = istart + np.arange(lo - base, hi - base, dtype=np.int64)
+            parts.append(Trajectory(coords=coords, steps=steps))
+        base += nframes
+    return parts[0] if len(parts) == 1 else Trajectory.concatenate(parts)
 
 
 def dcd_nbytes(natoms: int, nframes: int) -> int:

@@ -20,7 +20,14 @@ import numpy as np
 from repro.errors import CodecError
 from repro.formats.trajectory import Trajectory
 
-__all__ = ["TRR_MAGIC", "encode_trr", "decode_trr", "trr_nbytes"]
+__all__ = [
+    "TRR_MAGIC",
+    "decode_trr",
+    "decode_trr_range",
+    "encode_trr",
+    "trr_frame_count",
+    "trr_nbytes",
+]
 
 TRR_MAGIC = 1993
 
@@ -106,6 +113,88 @@ def decode_trr(data: bytes) -> "tuple[Trajectory, Optional[np.ndarray]]":
         times.append(time_ps)
     if not coords:
         raise CodecError("empty TRR stream")
+    trajectory = Trajectory(coords=np.stack(coords), steps=steps, times_ps=times)
+    velocities = np.stack(vels) if has_vel else None
+    return trajectory, velocities
+
+
+def _trr_geometry(data: bytes) -> "tuple[int, bool, int]":
+    """``(natoms, has_velocities, frame_size)`` from the first header.
+
+    TRR frames are self-contained and fixed-size once the atom count and
+    section layout are known, so one header read makes the whole stream
+    randomly addressable -- the property the windowed-ingest path relies
+    on to decode a frame range without inflating the rest.
+    """
+    if len(data) < _HEADER.size:
+        raise CodecError("truncated TRR frame header")
+    magic, natoms, _step, _time, vel_flag, _ = _HEADER.unpack_from(data, 0)
+    if magic != TRR_MAGIC:
+        raise CodecError(f"bad TRR magic {magic} at offset 0")
+    if natoms <= 0:
+        raise CodecError(f"implausible TRR atom count {natoms}")
+    sections = 2 if vel_flag else 1
+    frame_size = _HEADER.size + natoms * 12 * sections
+    return natoms, bool(vel_flag), frame_size
+
+
+def trr_frame_count(data: bytes) -> int:
+    """Frames in a TRR stream from header arithmetic alone (no decode)."""
+    _natoms, _has_vel, frame_size = _trr_geometry(data)
+    if len(data) % frame_size:
+        raise CodecError(
+            f"TRR stream length {len(data)} is not a whole number of "
+            f"{frame_size}-byte frames"
+        )
+    return len(data) // frame_size
+
+
+def decode_trr_range(
+    data: bytes, start: int, stop: int
+) -> "tuple[Trajectory, Optional[np.ndarray]]":
+    """Decode frames ``[start, stop)`` only (lazy windowed ingest).
+
+    Seeks directly to ``start * frame_size`` and touches nothing outside
+    the range; the concatenation of range decodes over a partition of
+    ``[0, nframes)`` is bit-identical to :func:`decode_trr`.
+    """
+    natoms, has_vel, frame_size = _trr_geometry(data)
+    nframes = trr_frame_count(data)
+    if not 0 <= start < stop <= nframes:
+        raise CodecError(
+            f"frame range [{start}, {stop}) outside stream of {nframes}"
+        )
+    coords: List[np.ndarray] = []
+    vels: List[np.ndarray] = []
+    steps: List[int] = []
+    times: List[float] = []
+    frame_bytes = natoms * 12
+    for f in range(start, stop):
+        offset = f * frame_size
+        magic, f_natoms, step, time_ps, vel_flag, _ = _HEADER.unpack_from(
+            data, offset
+        )
+        if magic != TRR_MAGIC:
+            raise CodecError(f"bad TRR magic {magic} at offset {offset}")
+        if f_natoms != natoms or bool(vel_flag) != has_vel:
+            raise CodecError("inconsistent TRR frame layout mid-stream")
+        offset += _HEADER.size
+        coords.append(
+            np.frombuffer(data, dtype="<f4", count=natoms * 3, offset=offset)
+            .reshape(natoms, 3)
+            .copy()
+        )
+        if has_vel:
+            vels.append(
+                np.frombuffer(
+                    data, dtype="<f4", count=natoms * 3,
+                    offset=offset + frame_bytes,
+                )
+                .reshape(natoms, 3)
+                .copy()
+            )
+        steps.append(step)
+        times.append(time_ps)
     trajectory = Trajectory(coords=np.stack(coords), steps=steps, times_ps=times)
     velocities = np.stack(vels) if has_vel else None
     return trajectory, velocities

@@ -26,11 +26,20 @@ __all__ = ["FileSystem", "StoredObject"]
 
 @dataclass(frozen=True)
 class StoredObject:
-    """What a read returns: size always, content when materialized."""
+    """What a read returns: size always, content when materialized.
+
+    ``tier``/``max_error`` surface the precision tier a read was served
+    from (see :mod:`repro.core.lod`): ``"full"`` means exact bytes;
+    ``"lod"`` means the coarse-quantized layer, with ``max_error`` the
+    advertised per-atom-coordinate worst-case error bound.  Reads below
+    the middleware's tier-selection layer always return ``"full"``.
+    """
 
     path: str
     nbytes: int
     data: Optional[bytes] = None
+    tier: str = "full"
+    max_error: Optional[float] = None
 
     @property
     def is_virtual(self) -> bool:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
+from repro.core.lod import validate_precision
 from repro.core.middleware import ADA
 from repro.errors import ConfigurationError, ReproError
 from repro.faults.plan import FaultPlan, raise_fault
@@ -52,8 +53,16 @@ class ServeFront:
         concurrency: int = 4,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        lod_backlog: Optional[int] = None,
     ):
         self.ada = ada
+        # The serving layer's own degradation signal for "auto" reads: a
+        # WFQ backlog deeper than this many queued requests means demand
+        # outruns the slots, so auto-tier tenants drop to the cheap LOD
+        # layer until the queues drain.  Defaults to 2x the slot count.
+        self.lod_backlog = (
+            2 * int(concurrency) if lod_backlog is None else int(lod_backlog)
+        )
         self.sim = ada.sim
         self.metrics = ada.metrics
         # Ambient tenant context rides the span chain, so serving always
@@ -93,6 +102,7 @@ class ServeFront:
         byte_budget: Optional[int] = None,
         cache_quota_bytes: Optional[int] = None,
         prefetch_budget_bytes: Optional[int] = None,
+        precision: str = "full",
     ) -> Session:
         """Register a tenant and return its session handle."""
         config = TenantConfig(
@@ -102,6 +112,7 @@ class ServeFront:
             byte_budget=byte_budget,
             cache_quota_bytes=cache_quota_bytes,
             prefetch_budget_bytes=prefetch_budget_bytes,
+            precision=precision,
         )
         state = self.sessions.register(config)
         cache = self.ada.block_cache
@@ -209,22 +220,46 @@ class ServeFront:
         result = yield from self._execute_kind(request)
         return result
 
+    def _resolve_precision(self, request: ServeRequest) -> str:
+        """The request's read tier: payload override, else tenant policy.
+
+        ``"auto"`` additionally folds in the serving layer's own pressure
+        signal -- a WFQ backlog past :attr:`lod_backlog` resolves auto
+        straight to the LOD tier; otherwise the middleware's cache and
+        fault watermarks decide (see :meth:`ADA._resolve_tier`).
+        """
+        precision = request.payload.get("precision")
+        if precision is None:
+            precision = self.sessions.get(request.tenant).config.precision
+        precision = validate_precision(precision)
+        if precision == "auto" and self.scheduler.backlog > self.lod_backlog:
+            self.metrics.counter(
+                "serve_lod_backlog_total", tenant=request.tenant
+            ).inc()
+            return "lod"
+        return precision
+
     def _execute_kind(self, request: ServeRequest) -> Generator:
         payload = request.payload
+        if request.kind != "ingest_stream":
+            precision = self._resolve_precision(request)
         if request.kind == "fetch_chunks":
             objs = yield from self.ada.fetch_chunks(
-                payload["logical"], payload["tag"], payload["chunks"]
+                payload["logical"], payload["tag"], payload["chunks"],
+                precision=precision,
             )
             request.served_bytes = int(sum(o.nbytes for o in objs))
             return objs
         if request.kind == "fetch":
             obj = yield from self.ada.fetch(
-                payload["logical"], payload["tag"]
+                payload["logical"], payload["tag"], precision=precision
             )
             request.served_bytes = int(obj.nbytes)
             return obj
         if request.kind == "fetch_merged":
-            obj = yield from self.ada.fetch_merged(payload["logical"])
+            obj = yield from self.ada.fetch_merged(
+                payload["logical"], precision=precision
+            )
             request.served_bytes = int(obj.nbytes)
             return obj
         # Guarded in submit(); only ingest_stream remains.

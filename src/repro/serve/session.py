@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
+from repro.core.lod import validate_precision
 from repro.errors import AdmissionRejected, ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import span
@@ -37,10 +38,16 @@ class TenantConfig:
     byte_budget: Optional[int] = None  # outstanding estimated bytes
     cache_quota_bytes: Optional[int] = None  # reserved L1 share
     prefetch_budget_bytes: Optional[int] = None  # speculative-byte cap
+    #: Default read tier for this tenant's requests ("full"/"lod"/"auto");
+    #: a per-request ``precision`` payload key overrides it.  Interactive
+    #: viewers register "auto" (cheap frames under load), pinned analyses
+    #: keep the "full" default (exact bytes, always).
+    precision: str = "full"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("tenant name must be non-empty")
+        validate_precision(self.precision)
         if not NICE_MIN <= int(self.nice) <= NICE_MAX:
             raise ConfigurationError(
                 f"nice level {self.nice} outside [{NICE_MIN}, {NICE_MAX}]"
@@ -174,6 +181,7 @@ class SessionManager:
                 "weight": state.config.weight,
                 "max_inflight": state.config.max_inflight,
                 "byte_budget": state.config.byte_budget,
+                "precision": state.config.precision,
                 "inflight": state.inflight,
                 "outstanding_bytes": state.outstanding_bytes,
                 "admitted": state.admitted,
@@ -204,26 +212,34 @@ class Session:
     # -- submit-and-wait conveniences (closed-loop traffic) ------------------
 
     def fetch_chunks(
-        self, logical: str, tag: str, chunks, nice: Optional[int] = None
+        self, logical: str, tag: str, chunks,
+        nice: Optional[int] = None, precision: Optional[str] = None,
     ) -> Generator:
         request = self.submit(
             "fetch_chunks", nice=nice,
             logical=logical, tag=tag, chunks=list(chunks),
+            precision=precision,
         )
         result = yield request.done
         return result
 
     def fetch(
-        self, logical: str, tag: str, nice: Optional[int] = None
+        self, logical: str, tag: str,
+        nice: Optional[int] = None, precision: Optional[str] = None,
     ) -> Generator:
-        request = self.submit("fetch", nice=nice, logical=logical, tag=tag)
+        request = self.submit(
+            "fetch", nice=nice, logical=logical, tag=tag, precision=precision,
+        )
         result = yield request.done
         return result
 
     def fetch_merged(
-        self, logical: str, nice: Optional[int] = None
+        self, logical: str,
+        nice: Optional[int] = None, precision: Optional[str] = None,
     ) -> Generator:
-        request = self.submit("fetch_merged", nice=nice, logical=logical)
+        request = self.submit(
+            "fetch_merged", nice=nice, logical=logical, precision=precision,
+        )
         result = yield request.done
         return result
 

@@ -58,6 +58,10 @@ class LoadResult:
     source_nbytes: int  # bytes read from storage
     decompressed_nbytes: int  # bytes materialized by inflation (0 for raw)
     timer: PhaseTimer = field(default_factory=PhaseTimer)
+    #: Which precision tier served the bytes ("full"/"lod") and, for the
+    #: coarse tier, the advertised per-coordinate error bound.
+    tier: str = "full"
+    max_error: Optional[float] = None
 
     @property
     def loaded_nbytes(self) -> int:

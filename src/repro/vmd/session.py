@@ -91,28 +91,43 @@ class VMDSession:
         logical: str,
         tag: str,
         molecule: Optional[Molecule] = None,
+        precision: str = "full",
     ) -> LoadResult:
-        """``mol addfile /mnt/bar.xtc tag p``: tag-selective load via ADA."""
+        """``mol addfile /mnt/bar.xtc tag p``: tag-selective load via ADA.
+
+        ``precision`` picks the read tier (``"full"``/``"lod"``/``"auto"``);
+        a coarse read surfaces its tier and advertised error bound on the
+        returned :class:`LoadResult`.
+        """
         mol = self._target(molecule)
         ada = self._require_ada()
-        obj = ada.sim.run_process(ada.fetch(logical, tag))
+        obj = ada.sim.run_process(ada.fetch(logical, tag, precision=precision))
         result = self.loader.load_subset(obj.data)
+        result.tier = obj.tier
+        result.max_error = obj.max_error
         self._charge_memory(result)
         indices = ada.label_map(logical).indices(tag)
         mol.add_frames(result.trajectory, atom_indices=indices)
         return result
 
     def mol_addfile_all(
-        self, logical: str, molecule: Optional[Molecule] = None
+        self,
+        logical: str,
+        molecule: Optional[Molecule] = None,
+        precision: str = "full",
     ) -> LoadResult:
         """Load every ADA subset and merge back to full frames."""
         mol = self._target(molecule)
         ada = self._require_ada()
-        merged = ada.sim.run_process(ada.fetch_merged(logical))
+        merged = ada.sim.run_process(
+            ada.fetch_merged(logical, precision=precision)
+        )
         result = LoadResult(
             trajectory=merged,
             source_nbytes=ada.container_nbytes(logical),
             decompressed_nbytes=0,
+            tier=getattr(merged, "tier", "full"),
+            max_error=getattr(merged, "max_error", None),
         )
         self._charge_memory(result)
         mol.add_frames(merged)

@@ -19,14 +19,24 @@ stands down when an external ``pressure_fn`` reports a loaded cache.
 Prefetched windows are bit-identical to demand decodes
 (:func:`decode_frame_range` is deterministic), so playback output is
 unchanged; only the stall time moves.
+
+With ``lod_bytes`` the stream additionally carries ADA's coarse
+low-precision sibling (the ``lod:`` tier): set ``precision`` to ``"lod"``
+to scrub through ~4x-cheaper frames, or ``"auto"`` to degrade to the LOD
+tier only while ``pressure_fn`` reports a loaded cache -- the same
+watermark that stands prefetch down.  Decoded windows cache per tier, so
+a coarse window can never satisfy (or evict into) a full-precision hit,
+and :attr:`lod_max_error` advertises the per-coordinate bound the coarse
+frames honour.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.core.lod import validate_precision
 from repro.errors import CodecError
 from repro.formats.codecexec import resolve_backend
 from repro.formats.trajectory import BYTES_PER_COORD, Frame, Trajectory
@@ -50,6 +60,12 @@ class StreamingTrajectory:
     window's groups of frames out across a codec pool (see
     :func:`~repro.formats.xtc.decode_frame_range`) -- bit-identical to
     serial window decodes.
+
+    ``lod_bytes`` optionally attaches the coarse LOD sibling stream;
+    :attr:`precision` (``"full"``/``"lod"``/``"auto"``, mutable at any
+    point of playback) then picks the tier each ``frame()`` call decodes
+    from.  ``lod_max_error`` advertises the coarse tier's per-coordinate
+    error bound (ADA's :meth:`~repro.core.middleware.ADA.lod_bound`).
     """
 
     def __init__(
@@ -63,6 +79,9 @@ class StreamingTrajectory:
         pressure_watermark: float = 0.85,
         workers: Optional[int] = None,
         codec_backend: str = "auto",
+        lod_bytes: Optional[bytes] = None,
+        lod_max_error: Optional[float] = None,
+        precision: str = "full",
     ):
         if window_frames < 1 or max_windows < 1:
             raise CodecError("window_frames and max_windows must be >= 1")
@@ -75,15 +94,26 @@ class StreamingTrajectory:
         self._natoms = self.index.natoms
         self.window_frames = int(window_frames)
         self.max_windows = int(max_windows)
-        self._windows: "OrderedDict[int, Trajectory]" = OrderedDict()
+        # Keyed (tier, window_id): the coarse tier's windows are distinct
+        # cache entries, never aliased with full-precision ones.
+        self._windows: "OrderedDict[Tuple[str, int], Trajectory]" = (
+            OrderedDict()
+        )
         self.window_decodes = 0
         self.window_hits = 0
+        # -- LOD tier ------------------------------------------------------
+        self._lod_data = lod_bytes
+        self._lod_index: Optional[FrameIndex] = None  # built on first use
+        self.lod_max_error = lod_max_error
+        self.precision = precision
+        self.last_tier: Optional[str] = None
+        self.lod_frames_served = 0
         # -- adaptive prefetch state ---------------------------------------
         self.prefetch = bool(prefetch)
         self.pressure_fn = pressure_fn
         self.pressure_watermark = float(pressure_watermark)
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._pending: Dict[int, "Future[Trajectory]"] = {}
+        self._pending: Dict[Tuple[str, int], "Future[Trajectory]"] = {}
         self._speculative: set = set()  # resident but never demanded yet
         self._last_window: Optional[int] = None
         self._stride: Optional[int] = None
@@ -102,6 +132,24 @@ class StreamingTrajectory:
         return self._natoms
 
     @property
+    def precision(self) -> str:
+        """Requested tier policy: ``"full"``, ``"lod"``, or ``"auto"``."""
+        return self._precision
+
+    @precision.setter
+    def precision(self, value: str) -> None:
+        value = validate_precision(value)
+        if value == "lod" and self._lod_data is None:
+            raise CodecError(
+                "precision='lod' needs an attached LOD stream (lod_bytes)"
+            )
+        self._precision = value
+
+    @property
+    def has_lod(self) -> bool:
+        return self._lod_data is not None
+
+    @property
     def resident_nbytes(self) -> int:
         """Decoded bytes currently held (the memory the paper budgets)."""
         return sum(w.nbytes for w in self._windows.values())
@@ -112,36 +160,66 @@ class StreamingTrajectory:
         return self.max_windows * self.window_frames * self._natoms * BYTES_PER_COORD
 
     def frame(self, index: int) -> Frame:
-        """Fetch one frame, decoding (or LRU-hitting) its window."""
+        """Fetch one frame, decoding (or LRU-hitting) its window.
+
+        The tier the frame decodes from is resolved per call (see
+        :meth:`tier`), so flipping :attr:`precision` mid-playback takes
+        effect on the very next frame.
+        """
         if not 0 <= index < self._nframes:
             raise CodecError(f"frame {index} outside [0, {self._nframes})")
+        tier = self.tier()
         window_id = index // self.window_frames
+        key = (tier, window_id)
         if self._pending:
             self._drain_pending()
-        window = self._windows.get(window_id)
+        window = self._windows.get(key)
         if window is not None:
             self.window_hits += 1
-            self._windows.move_to_end(window_id)
-            if window_id in self._speculative:
+            self._windows.move_to_end(key)
+            if key in self._speculative:
                 # First demand touch of a prefetched window: useful work.
-                self._speculative.discard(window_id)
+                self._speculative.discard(key)
                 self.prefetch_hits += 1
         else:
-            future = self._pending.pop(window_id, None)
+            future = self._pending.pop(key, None)
             if future is not None:
                 # In flight: wait out the remaining decode (the overlap
                 # already absorbed the rest) and count it a useful hit.
                 window = future.result()
-                self._speculative.discard(window_id)
+                self._speculative.discard(key)
                 self.window_hits += 1
                 self.prefetch_hits += 1
             else:
-                window = self._decode_window(window_id)
+                window = self._decode_window(key)
                 self.window_decodes += 1
-            self._install(window_id, window)
+            self._install(key, window)
+        self.last_tier = tier
+        if tier == "lod":
+            self.lod_frames_served += 1
         if self.prefetch:
-            self._observe(window_id)
+            self._observe(tier, window_id)
         return window.frame(index - window_id * self.window_frames)
+
+    def tier(self) -> str:
+        """The tier the next ``frame()`` call would decode from.
+
+        ``"auto"`` degrades to the coarse tier exactly while
+        ``pressure_fn`` sits at or above ``pressure_watermark`` -- the
+        same signal that stands prefetch down: under memory pressure the
+        stream first stops speculating, then (if asked to) serves cheap
+        frames instead of exact ones.
+        """
+        if self._precision == "full" or self._lod_data is None:
+            return "full"
+        if self._precision == "lod":
+            return "lod"
+        if (
+            self.pressure_fn is not None
+            and self.pressure_fn() >= self.pressure_watermark
+        ):
+            return "lod"
+        return "full"
 
     def close(self) -> None:
         """Drain the prefetch worker (idempotent; safe without prefetch)."""
@@ -156,28 +234,50 @@ class StreamingTrajectory:
 
     # -- internals ----------------------------------------------------------
 
-    def _decode_window(self, window_id: int) -> Trajectory:
+    def _lod_frame_index(self) -> FrameIndex:
+        """The coarse stream's (lazily built) frame index."""
+        if self._lod_index is None:
+            index = FrameIndex.build(self._lod_data)
+            if index.nframes != self._nframes:
+                raise CodecError(
+                    f"LOD stream has {index.nframes} frames; "
+                    f"full stream has {self._nframes}"
+                )
+            self._lod_index = index
+        return self._lod_index
+
+    def _decode_window(self, key: Tuple[str, int]) -> Trajectory:
+        tier, window_id = key
         start = window_id * self.window_frames
         stop = min(start + self.window_frames, self._nframes)
+        if tier == "lod":
+            data, index = self._lod_data, self._lod_frame_index()
+        else:
+            data, index = self._data, self.index
         return decode_frame_range(
-            self._data,
+            data,
             start,
             stop,
-            index=self.index,
+            index=index,
             workers=self.workers,
             backend=self.codec_backend,
         )
 
-    def _install(self, window_id: int, window: Trajectory) -> None:
-        self._windows[window_id] = window
+    def _install(self, key: Tuple[str, int], window: Trajectory) -> None:
+        self._windows[key] = window
         while len(self._windows) > self.max_windows:
             evicted, _ = self._windows.popitem(last=False)
             if evicted in self._speculative:
                 self._speculative.discard(evicted)
                 self.prefetch_wasted += 1
 
-    def _observe(self, window_id: int) -> None:
-        """Train the stride detector; maybe launch the next window."""
+    def _observe(self, tier: str, window_id: int) -> None:
+        """Train the stride detector; maybe launch the next window.
+
+        The stride is a property of the *access pattern*, so it trains on
+        window ids regardless of tier; the speculative decode itself runs
+        in whatever tier the triggering demand fetch used.
+        """
         if self._last_window is not None and window_id != self._last_window:
             stride = window_id - self._last_window
             if stride == self._stride:
@@ -192,7 +292,8 @@ class StreamingTrajectory:
         target = window_id + self._stride
         if not 0 <= target * self.window_frames < self._nframes:
             return
-        if target in self._windows or target in self._pending:
+        key = (tier, target)
+        if key in self._windows or key in self._pending:
             return
         # Watermarks: never evict a demand window for speculation, and
         # stand down under external pressure.
@@ -210,10 +311,8 @@ class StreamingTrajectory:
                 max_workers=1, thread_name_prefix="stream-prefetch"
             )
         self.prefetch_issued += 1
-        self._pending[target] = self._executor.submit(
-            self._decode_window, target
-        )
-        self._speculative.add(target)
+        self._pending[key] = self._executor.submit(self._decode_window, key)
+        self._speculative.add(key)
 
     def _drain_pending(self) -> None:
         """Install any completed speculative decodes (opportunistic)."""

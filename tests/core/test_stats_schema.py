@@ -56,8 +56,15 @@ def test_ada_stats_schema(driven_ada):
         "coalescing",
         "write_coalescing",
         "ingest",
+        "lod",
         "faults",
     }
+    lod = stats["lod"]
+    assert set(lod) == {
+        "enabled", "lod_precision", "served", "chunks", "served_bytes",
+        "fallback", "auto_lod", "auto_full",
+    }
+    assert lod["enabled"] is False  # fixture ingests without an LOD tier
     assert stats["datasets"] == ["s.xtc"]
     assert all(
         isinstance(v, float) for v in stats["bytes_written_per_backend"].values()
@@ -128,6 +135,7 @@ def test_prefetcher_stats_schema(driven_ada):
     assert tuple(stats) == Prefetcher.FIELDS
     assert set(stats) == {
         "issued",
+        "issued_direction",
         "chunks_requested",
         "suppressed_pressure",
         "suppressed_degraded",

@@ -185,3 +185,40 @@ def test_stats_schema():
     ):
         assert key in stats
     assert stats["hit_ratio"] == 1.0
+
+
+# -- precision tiers share the cache without colliding ------------------------
+
+
+def test_lod_and_full_tiers_never_collide():
+    """The tier rides in the tag, so the same chunk cached coarse can
+    never satisfy (or poison) a full-precision lookup -- and vice versa."""
+    sim = Simulator()
+    cache = _block_cache(sim)
+    full_key = ("bar.xtc", "p", 0)
+    lod_key = ("bar.xtc", "lod:p", 0)
+    cache.admit(lod_key, 250, data=b"c" * 250)
+
+    # A full-precision lookup of the same logical chunk is a miss.
+    assert sim.run_process(cache.lookup(full_key)) is None
+    assert cache.misses == 1 and cache.hits_l1 == 0
+
+    cache.admit(full_key, 1000, data=b"f" * 1000)
+    exact = sim.run_process(cache.lookup(full_key))
+    coarse = sim.run_process(cache.lookup(lod_key))
+    assert exact.data == b"f" * 1000
+    assert coarse.data == b"c" * 250
+    assert cache.hits_l1 == 2
+
+    # Accounting sees two distinct blocks, bytes summed per tier.
+    stats = cache.stats()
+    assert stats["blocks"] == 2
+    assert stats["l1_bytes"] == 1250
+
+    # Invalidating the dataset's full tier leaves the coarse tier alone
+    # only if asked per-tag; whole-logical invalidation drops both.
+    cache.invalidate(logical="bar.xtc", tag="p")
+    assert sim.run_process(cache.lookup(full_key)) is None
+    assert sim.run_process(cache.lookup(lod_key)) is not None
+    cache.invalidate(logical="bar.xtc")
+    assert sim.run_process(cache.lookup(lod_key)) is None

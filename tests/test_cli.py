@@ -9,7 +9,7 @@ def test_list_prints_targets(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out.split()
     assert set(out) == set(GENERATORS) | {
-        "bench-codec", "bench-cluster", "bench-ingest", "bench-insitu",
+        "bench-codec", "bench-cluster", "bench-ingest", "bench-insitu", "bench-lod",
         "bench-pipeline", "bench-serve", "chaos", "metrics", "trace",
     }
 

@@ -128,3 +128,28 @@ def test_oom_kill_on_tiny_memory(dataset):
     session.mol_new(pdb_text)
     with pytest.raises(OutOfMemoryError):
         session.mol_addfile(blob)  # C path needs ~2x raw + compressed
+
+
+@pytest.mark.lod
+def test_tag_load_carries_the_precision_tier(dataset):
+    """``precision`` threads VMD -> ADA and the verdict rides LoadResult."""
+    system, pdb_text, blob, traj = dataset
+    sim = Simulator()
+    ada = ADA(sim, backends={"ssd": _fs(sim, "ssd")}, lod_precision=12.5)
+    sim.run_process(ada.ingest("bar.xtc", pdb_text, blob))
+    session = VMDSession(ada=ada)
+    session.mol_new(pdb_text, name="gpcr")
+
+    coarse = session.mol_addfile_tag("bar.xtc", "p", precision="lod")
+    assert coarse.tier == "lod"
+    assert coarse.max_error == ada.lod_bound("bar.xtc")
+
+    session2 = VMDSession(ada=ada)
+    session2.mol_new(pdb_text, name="gpcr")
+    merged = session2.mol_addfile_all("bar.xtc", precision="lod")
+    assert merged.tier == "lod" and merged.max_error is not None
+
+    session3 = VMDSession(ada=ada)
+    session3.mol_new(pdb_text, name="gpcr")
+    exact = session3.mol_addfile_all("bar.xtc")
+    assert exact.tier == "full" and exact.max_error is None
